@@ -1,0 +1,60 @@
+// §3.4.1 ablation: what the proposed microarchitectural fix buys at the
+// queue level. SBQ-HTM on the mixed two-socket workload (where consumer
+// reads of the tail cross sockets and can trip enqueuers' TxCAS commits),
+// with the fix off and on.
+#include <iostream>
+
+#include "benchsupport/sweep.hpp"
+#include "benchsupport/table.hpp"
+#include "common/stats.hpp"
+#include "sim_queue_bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sbq;
+  using namespace sbq::bench;
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  const simq::Value ops = opts.ops == 0 ? 200 : opts.ops;
+  const int repeats = opts.repeats == 0 ? 2 : opts.repeats;
+  const std::vector<int> totals =
+      opts.threads.empty() ? std::vector<int>{8, 16, 32, 64, 88} : opts.threads;
+
+  std::cout << "# 3.4.1 ablation: SBQ-HTM mixed workload, uarch fix off/on ("
+            << ops << " ops/thread)\n";
+  Table table({"threads", "enq_ns(nofix)", "enq_ns(fix)", "dur_ns(nofix)",
+               "dur_ns(fix)"});
+  for (int total : totals) {
+    const int half = total / 2;
+    if (half < 1) continue;
+    Summary enq_off, enq_on, dur_off, dur_on;
+    for (int r = 0; r < repeats; ++r) {
+      for (bool fix : {false, true}) {
+        sim::MachineConfig mcfg;
+        mcfg.cores = total;
+        mcfg.sockets = 2;
+        mcfg.uarch_fix = fix;
+        WorkloadSpec spec;
+        spec.kind = Workload::kMixed;
+        spec.producers = half;
+        spec.consumers = half;
+        spec.ops_per_thread = ops;
+        spec.prefill = static_cast<simq::Value>(half) * ops / 2;
+        spec.seed = opts.seed + static_cast<std::uint64_t>(r) * 7919;
+        const SimRunResult res = run_queue_workload("SBQ-HTM", mcfg, spec);
+        const double total_ops = static_cast<double>(res.enq_ops + res.deq_ops);
+        const double dur = res.duration_cycles * ns_per_cycle() / total_ops *
+                           static_cast<double>(total);
+        if (fix) {
+          enq_on.add(res.enq_latency_ns(ns_per_cycle()));
+          dur_on.add(dur);
+        } else {
+          enq_off.add(res.enq_latency_ns(ns_per_cycle()));
+          dur_off.add(dur);
+        }
+      }
+    }
+    table.add_row({static_cast<double>(total), enq_off.mean(), enq_on.mean(),
+                   dur_off.mean(), dur_on.mean()});
+  }
+  table.print(std::cout, opts.csv);
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Figure 2: cache-coherence dynamics of contended CAS vs HTM-based CAS.
+//
+// The paper's Figure 2 is a message diagram; this benchmark regenerates its
+// quantitative content. C cores all hold the target line in Shared state
+// and attempt a CAS of the same old value:
+//   (2a) standard CAS — every core's RMW completes at a distinct,
+//        serialized time (one owner hand-off per core): the completion
+//        times form a staircase whose spread grows with C.
+//   (2b) HTM-based CAS — the single winner commits; every loser's
+//        transaction is aborted by the winner's back-to-back invalidations,
+//        i.e. all losers resolve at (nearly) the same instant: the
+//        transaction-resolution times are flat.
+//
+// For 2b we report the *transaction resolution* time (commit or abort,
+// extracted from the protocol trace) — that is the event Figure 2 depicts;
+// the post-abort delay and value re-check that follow a loser's abort are
+// TxCAS bookkeeping, not coherence serialization.
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchsupport/sweep.hpp"
+#include "benchsupport/table.hpp"
+#include "sim/machine.hpp"
+
+namespace sbq {
+namespace {
+
+using sim::Addr;
+using sim::Machine;
+using sim::Task;
+using sim::Time;
+using sim::Value;
+
+struct Round {
+  std::vector<double> resolution_ns;  // per core, relative to round start
+  std::uint64_t fwd_getm = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t getm = 0;
+};
+
+Round run_round(int cores, bool htm) {
+  sim::MachineConfig mcfg;
+  mcfg.cores = cores;
+  mcfg.record_trace = true;
+  Machine m(mcfg);
+  const Addr x = m.alloc();
+
+  // Warm-up: every core loads the line into Shared state.
+  for (int c = 0; c < cores; ++c) {
+    m.spawn([](Machine& m, int c, Addr x) -> Task<void> {
+      co_await m.core(c).load(x);
+    }(m, c, x));
+  }
+  m.run();
+  m.trace().clear();
+  const auto stats_before = m.directory().stats();
+  const Time start = m.engine().now();
+
+  auto done = std::make_shared<std::vector<Time>>(cores, Time{0});
+  sim::TxCasConfig tx;
+  tx.intra_txn_delay = 300;  // all losers sit in their delay when the
+                             // winner's write lands (Figure 2b's setup)
+  for (int c = 0; c < cores; ++c) {
+    m.spawn([](Machine& m, int c, Addr x, bool htm, sim::TxCasConfig tx,
+               std::shared_ptr<std::vector<Time>> done) -> Task<void> {
+      co_await m.core(c).think(static_cast<Time>(1 + c * 2));
+      if (htm) {
+        co_await m.core(c).txcas(x, 0, static_cast<Value>(c) + 1, tx);
+      } else {
+        co_await m.core(c).cas(x, 0, static_cast<Value>(c) + 1);
+        (*done)[static_cast<std::size_t>(c)] = m.engine().now();
+      }
+    }(m, c, x, htm, tx, done));
+  }
+  m.run();
+
+  Round r;
+  if (htm) {
+    // Resolution = first commit-or-abort event per core in the trace.
+    std::vector<Time> resolved(static_cast<std::size_t>(cores), Time{0});
+    for (const auto& e : m.trace().events()) {
+      if (e.addr != x || e.node < 0 || e.node >= cores) continue;
+      if (e.what.rfind("txcas", 0) != 0) continue;
+      auto& slot = resolved[static_cast<std::size_t>(e.node)];
+      if (slot == 0) slot = e.time;
+    }
+    for (Time t : resolved) {
+      r.resolution_ns.push_back(static_cast<double>(t - start) *
+                                ns_per_cycle());
+    }
+  } else {
+    for (Time t : *done) {
+      r.resolution_ns.push_back(static_cast<double>(t - start) *
+                                ns_per_cycle());
+    }
+  }
+  const auto stats_after = m.directory().stats();
+  r.fwd_getm = stats_after.fwd_getm - stats_before.fwd_getm;
+  r.invalidations = stats_after.invalidations - stats_before.invalidations;
+  r.getm = stats_after.getm - stats_before.getm;
+  return r;
+}
+
+double spread(const Round& r) {
+  const auto [lo, hi] =
+      std::minmax_element(r.resolution_ns.begin(), r.resolution_ns.end());
+  return *hi - *lo;
+}
+
+}  // namespace
+}  // namespace sbq
+
+int main(int argc, char** argv) {
+  using namespace sbq;
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  const int cores = opts.threads.empty() ? 8 : opts.threads.front();
+
+  std::cout << "# Figure 2: coherence dynamics of one contended CAS round ("
+            << cores << " cores, all\n# starting from Shared state). "
+            << "Times are when each core's operation RESOLVES:\n"
+            << "# standard CAS = RMW executed; HTM CAS = transaction "
+            << "committed or aborted.\n";
+
+  const Round cas = run_round(cores, /*htm=*/false);
+  const Round htm = run_round(cores, /*htm=*/true);
+
+  Table table({"core", "standard_cas_resolved_ns", "htm_cas_resolved_ns"});
+  for (int c = 0; c < cores; ++c) {
+    table.add_row({static_cast<double>(c),
+                   cas.resolution_ns[static_cast<std::size_t>(c)],
+                   htm.resolution_ns[static_cast<std::size_t>(c)]});
+  }
+  table.print(std::cout, opts.csv);
+
+  std::cout << "\n## Summary\n";
+  Table sum({"mode", "resolution_spread_ns", "GetM", "Fwd-GetM", "Inv"});
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", spread(cas));
+  sum.add_row({"standard CAS (2a)", buf, std::to_string(cas.getm),
+               std::to_string(cas.fwd_getm), std::to_string(cas.invalidations)});
+  std::snprintf(buf, sizeof buf, "%.1f", spread(htm));
+  sum.add_row({"HTM CAS (2b)", buf, std::to_string(htm.getm),
+               std::to_string(htm.fwd_getm), std::to_string(htm.invalidations)});
+  sum.print(std::cout, opts.csv);
+  std::cout << "\n(2a: completions form a serialized staircase — the spread "
+               "grows with the core\n count, one Fwd-GetM hand-off per loser. "
+               "2b: all losers abort on the winner's\n back-to-back "
+               "invalidations — near-zero spread.)\n";
+  return 0;
+}

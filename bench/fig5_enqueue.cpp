@@ -1,0 +1,60 @@
+// Figure 5: producer-only workload — enqueue latency and total throughput
+// for the five evaluated queues, filling an initially empty queue
+// (§6.2 "Producer-only workload").
+//
+// Expected shape (per the paper): SBQ-HTM's latency flattens beyond ~10
+// threads; SBQ-CAS tracks it at low concurrency and stops scaling around 20
+// threads; WF-Queue (FAA), BQ-Original and CC-Queue grow linearly, so at 44
+// producers SBQ-HTM reaches ~1.6x the throughput of the FAA queue.
+#include <iostream>
+
+#include "benchsupport/sweep.hpp"
+#include "benchsupport/table.hpp"
+#include "common/stats.hpp"
+#include "sim_queue_bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sbq;
+  using namespace sbq::bench;
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  const std::vector<int> threads =
+      opts.threads.empty() ? default_single_socket_sweep() : opts.threads;
+  const simq::Value ops = opts.ops == 0 ? 200 : opts.ops;
+  const int repeats = opts.repeats == 0 ? 2 : opts.repeats;
+
+  std::cout << "# Figure 5: enqueue-only latency & throughput "
+            << "(single socket, empty queue, " << ops << " ops/thread, "
+            << repeats << " repeats)\n";
+  Table lat_table({"threads", "SBQ-HTM", "SBQ-CAS", "WF-Queue", "BQ-Original",
+                   "CC-Queue", "MS-Queue"});
+  Table thr_table({"threads", "SBQ-HTM", "SBQ-CAS", "WF-Queue", "BQ-Original",
+                   "CC-Queue", "MS-Queue"});
+  for (int t : threads) {
+    std::vector<double> lat_row{static_cast<double>(t)};
+    std::vector<double> thr_row{static_cast<double>(t)};
+    for (const std::string& name : queue_names()) {
+      Summary lat, thr;
+      for (int r = 0; r < repeats; ++r) {
+        sim::MachineConfig mcfg;
+        mcfg.cores = t;
+        WorkloadSpec spec;
+        spec.kind = Workload::kProducerOnly;
+        spec.producers = t;
+        spec.ops_per_thread = ops;
+        spec.seed = opts.seed + static_cast<std::uint64_t>(r) * 7919;
+        const SimRunResult res = run_queue_workload(name, mcfg, spec);
+        lat.add(res.enq_latency_ns(ns_per_cycle()));
+        thr.add(res.throughput_mops(ns_per_cycle()));
+      }
+      lat_row.push_back(lat.mean());
+      thr_row.push_back(thr.mean());
+    }
+    lat_table.add_row(lat_row);
+    thr_table.add_row(thr_row);
+  }
+  std::cout << "\n## Enqueue latency [ns/op] (lower is better)\n";
+  lat_table.print(std::cout, opts.csv);
+  std::cout << "\n## Total throughput [Mop/s] (higher is better)\n";
+  thr_table.print(std::cout, opts.csv);
+  return 0;
+}

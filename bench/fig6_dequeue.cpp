@@ -1,0 +1,54 @@
+// Figure 6: consumer-only workload — dequeue latency for the five evaluated
+// queues, draining a pre-filled queue (§6.2 "Consumer-only workload").
+//
+// Expected shape: no queue scales here (every dequeue pays a contended FAA
+// or equivalent). SBQ-HTM tracks the FAA queue within a small constant
+// factor (the paper measures ~1.4x at high thread counts, caused by SBQ
+// dequeues occasionally performing multiple FAAs on drained baskets);
+// CC-Queue and BQ-Original are worse.
+#include <iostream>
+
+#include "benchsupport/sweep.hpp"
+#include "benchsupport/table.hpp"
+#include "common/stats.hpp"
+#include "sim_queue_bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sbq;
+  using namespace sbq::bench;
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  const std::vector<int> threads =
+      opts.threads.empty() ? default_single_socket_sweep() : opts.threads;
+  const simq::Value ops = opts.ops == 0 ? 200 : opts.ops;
+  const int repeats = opts.repeats == 0 ? 2 : opts.repeats;
+
+  std::cout << "# Figure 6: dequeue-only latency (single socket, pre-filled "
+            << "queue, " << ops << " ops/thread, " << repeats << " repeats)\n";
+  Table table({"threads", "SBQ-HTM", "SBQ-CAS", "WF-Queue", "BQ-Original",
+               "CC-Queue", "MS-Queue"});
+  for (int t : threads) {
+    std::vector<double> row{static_cast<double>(t)};
+    for (const std::string& name : queue_names()) {
+      Summary lat;
+      for (int r = 0; r < repeats; ++r) {
+        sim::MachineConfig mcfg;
+        mcfg.cores = t;
+        WorkloadSpec spec;
+        spec.kind = Workload::kConsumerOnly;
+        // The queue is pre-filled by `producers` concurrent enqueuers (the
+        // same thread count, matching the paper's setup) before measuring.
+        spec.producers = t;
+        spec.consumers = t;
+        spec.ops_per_thread = ops;
+        spec.seed = opts.seed + static_cast<std::uint64_t>(r) * 7919;
+        const SimRunResult res = run_queue_workload(name, mcfg, spec);
+        lat.add(res.deq_latency_ns(ns_per_cycle()));
+      }
+      row.push_back(lat.mean());
+    }
+    table.add_row(row);
+  }
+  std::cout << "\n## Dequeue latency [ns/op] (lower is better)\n";
+  table.print(std::cout, opts.csv);
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Shared dispatch for the figure benchmarks: construct one of the five
+// evaluated queues (§6.1) on a fresh simulated machine and run a workload.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "benchsupport/sim_workload.hpp"
+#include "simqueue/sim_baskets_queue.hpp"
+#include "simqueue/sim_cc_queue.hpp"
+#include "simqueue/sim_faa_queue.hpp"
+#include "simqueue/sim_ms_queue.hpp"
+#include "simqueue/sim_sbq.hpp"
+
+namespace sbq::bench {
+
+using simq::SimRunResult;
+
+// The queue lineup of the paper's evaluation. We additionally expose the
+// Michael–Scott queue (the CAS-retry ancestor) for context.
+inline const std::vector<std::string>& queue_names() {
+  static const std::vector<std::string> names = {
+      "SBQ-HTM", "SBQ-CAS", "WF-Queue", "BQ-Original", "CC-Queue", "MS-Queue"};
+  return names;
+}
+
+enum class Workload { kProducerOnly, kConsumerOnly, kMixed };
+
+struct WorkloadSpec {
+  Workload kind = Workload::kProducerOnly;
+  int producers = 1;       // live enqueuers (also prefill threads)
+  int consumers = 1;       // live dequeuers
+  simq::Value ops_per_thread = 1000;
+  simq::Value prefill = 0;      // mixed only
+  std::uint64_t seed = 1;
+  int basket_capacity = 44;     // the paper's fixed B
+};
+
+// Runs `spec` for the named queue on machine `m`. The machine must have
+// enough cores: producer-only/consumer-only use cores [0, threads);
+// mixed puts consumers at [cores/2, ...).
+template <typename QueueT>
+SimRunResult run_spec(sim::Machine& m, QueueT& q, const WorkloadSpec& spec,
+                      int consumer_id_offset) {
+  switch (spec.kind) {
+    case Workload::kProducerOnly:
+      return simq::run_producer_only(m, q, spec.producers, spec.ops_per_thread,
+                                     spec.seed);
+    case Workload::kConsumerOnly:
+      return simq::run_consumer_only(m, q, spec.producers, spec.consumers,
+                                     spec.ops_per_thread, spec.seed,
+                                     consumer_id_offset);
+    case Workload::kMixed:
+      return simq::run_mixed(m, q, spec.producers, spec.consumers,
+                             spec.ops_per_thread, spec.prefill, spec.seed,
+                             consumer_id_offset);
+  }
+  throw std::logic_error("bad workload");
+}
+
+inline SimRunResult run_queue_workload(const std::string& name,
+                                       sim::MachineConfig mcfg,
+                                       const WorkloadSpec& spec) {
+  sim::Machine m(mcfg);
+  const int single_space_offset = spec.producers;
+  if (name == "SBQ-HTM" || name == "SBQ-CAS") {
+    simq::SimSbq::Config qc;
+    qc.enqueuers = spec.producers;
+    qc.dequeuers = spec.consumers == 0 ? 1 : spec.consumers;
+    qc.basket_capacity = std::max(spec.basket_capacity, spec.producers);
+    qc.variant = name == "SBQ-HTM" ? simq::SbqVariant::kHtm
+                                   : simq::SbqVariant::kCas;
+    simq::SimSbq q(m, qc);
+    return run_spec(m, q, spec, /*consumer_id_offset=*/0);
+  }
+  if (name == "WF-Queue") {
+    simq::SimFaaQueue q(m, {});
+    return run_spec(m, q, spec, single_space_offset);
+  }
+  if (name == "BQ-Original") {
+    simq::SimBasketsQueue q(m, {});
+    q.set_dequeuers(spec.producers + spec.consumers + 1);
+    return run_spec(m, q, spec, single_space_offset);
+  }
+  if (name == "CC-Queue") {
+    simq::SimCcQueue q(m, {.threads = spec.producers + spec.consumers + 1});
+    return run_spec(m, q, spec, single_space_offset);
+  }
+  if (name == "MS-Queue") {
+    simq::SimMsQueue q(m, {});
+    return run_spec(m, q, spec, single_space_offset);
+  }
+  throw std::invalid_argument("unknown queue: " + name);
+}
+
+}  // namespace sbq::bench

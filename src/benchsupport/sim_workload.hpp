@@ -1,0 +1,188 @@
+// Simulated-queue workload drivers for the figure-reproduction benchmarks:
+// producer-only (Figure 5), consumer-only (Figure 6), and the mixed
+// two-socket workload (Figure 7), mirroring §6.1 of the paper.
+//
+// Threads are simulated cores; producer i runs on core i and consumers run
+// on the cores after the producers (for the mixed workload: producers on
+// socket 0, consumers on socket 1, as the paper pins them). A small
+// deterministic per-op think-time jitter avoids artificial lockstep.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "simqueue/sim_queue_base.hpp"
+
+namespace sbq::simq {
+
+struct SimRunResult {
+  double enq_latency_cycles = 0;  // mean per enqueue
+  double deq_latency_cycles = 0;  // mean per dequeue
+  double duration_cycles = 0;     // measured-phase wall time
+  std::uint64_t enq_ops = 0;
+  std::uint64_t deq_ops = 0;
+
+  double enq_latency_ns(double ns_per_cycle) const {
+    return enq_latency_cycles * ns_per_cycle;
+  }
+  double deq_latency_ns(double ns_per_cycle) const {
+    return deq_latency_cycles * ns_per_cycle;
+  }
+  // Aggregate throughput in operations per second of the measured phase.
+  double throughput_mops(double ns_per_cycle) const {
+    const double ops = static_cast<double>(enq_ops + deq_ops);
+    const double ns = duration_cycles * ns_per_cycle;
+    return ns > 0 ? ops / ns * 1e3 : 0.0;
+  }
+};
+
+namespace detail {
+
+struct Accum {
+  double enq_lat = 0, deq_lat = 0;
+  std::uint64_t enq = 0, deq = 0;
+};
+
+template <typename QueueT>
+Task<void> producer_thread(Machine& m, QueueT& q, int core, int id,
+                           Value ops, std::uint64_t seed,
+                           std::shared_ptr<Accum> acc) {
+  Xoshiro256 rng(seed);
+  Core& c = m.core(core);
+  co_await c.think(1 + rng.next_below(32));
+  for (Value i = 0; i < ops; ++i) {
+    const Time start = m.engine().now();
+    co_await q.enqueue(c, kFirstElement + (static_cast<Value>(id) << 32 | i),
+                       id);
+    acc->enq_lat += static_cast<double>(m.engine().now() - start);
+    ++acc->enq;
+    co_await c.think(1 + rng.next_below(8));
+  }
+}
+
+template <typename QueueT>
+Task<void> consumer_thread(Machine& m, QueueT& q, int core, int id, Value ops,
+                           std::uint64_t seed, std::shared_ptr<Accum> acc) {
+  Xoshiro256 rng(seed);
+  Core& c = m.core(core);
+  co_await c.think(1 + rng.next_below(32));
+  Value got = 0;
+  while (got < ops) {
+    const Time start = m.engine().now();
+    const Value e = co_await q.dequeue(c, id);
+    if (e != 0) {
+      acc->deq_lat += static_cast<double>(m.engine().now() - start);
+      ++acc->deq;
+      ++got;
+    } else {
+      co_await c.think(64);  // transiently empty; back off briefly
+    }
+  }
+}
+
+}  // namespace detail
+
+// Producer-only: `producers` threads each enqueue `ops_per_thread` elements
+// into an initially empty queue (Figure 5's workload).
+template <typename QueueT>
+SimRunResult run_producer_only(Machine& m, QueueT& q, int producers,
+                               Value ops_per_thread, std::uint64_t seed = 1) {
+  auto acc = std::make_shared<detail::Accum>();
+  const Time start = m.engine().now();
+  for (int p = 0; p < producers; ++p) {
+    m.spawn(detail::producer_thread(m, q, p, p, ops_per_thread,
+                                    seed * 1000003 + static_cast<std::uint64_t>(p),
+                                    acc));
+  }
+  m.run();
+  SimRunResult r;
+  r.enq_ops = acc->enq;
+  r.enq_latency_cycles = acc->enq ? acc->enq_lat / static_cast<double>(acc->enq) : 0;
+  r.duration_cycles = static_cast<double>(m.engine().now() - start);
+  return r;
+}
+
+// Consumer-only: the queue is pre-filled concurrently by `prefill_producers`
+// (un-measured, matching §6.1's "pre-fill using concurrent producers"), then
+// `consumers` threads each dequeue `ops_per_thread` elements.
+// `consumer_id_offset` separates consumer ids from producer ids for queues
+// with a single thread-id space (CC-Queue's per-thread records); SBQ keeps
+// separate id ranges and passes 0.
+template <typename QueueT>
+SimRunResult run_consumer_only(Machine& m, QueueT& q, int prefill_producers,
+                               int consumers, Value ops_per_thread,
+                               std::uint64_t seed = 1,
+                               int consumer_id_offset = 0) {
+  const Value total = static_cast<Value>(consumers) * ops_per_thread;
+  const Value per_producer =
+      (total + static_cast<Value>(prefill_producers) - 1) /
+      static_cast<Value>(prefill_producers);
+  auto fill_acc = std::make_shared<detail::Accum>();
+  for (int p = 0; p < prefill_producers; ++p) {
+    m.spawn(detail::producer_thread(m, q, p, p, per_producer,
+                                    seed * 7 + static_cast<std::uint64_t>(p),
+                                    fill_acc));
+  }
+  m.run();  // un-measured fill phase
+
+  auto acc = std::make_shared<detail::Accum>();
+  const Time start = m.engine().now();
+  for (int ci = 0; ci < consumers; ++ci) {
+    m.spawn(detail::consumer_thread(m, q, ci, consumer_id_offset + ci,
+                                    ops_per_thread,
+                                    seed * 2000003 + static_cast<std::uint64_t>(ci),
+                                    acc));
+  }
+  m.run();
+  SimRunResult r;
+  r.deq_ops = acc->deq;
+  r.deq_latency_cycles = acc->deq ? acc->deq_lat / static_cast<double>(acc->deq) : 0;
+  r.duration_cycles = static_cast<double>(m.engine().now() - start);
+  return r;
+}
+
+// Mixed: producers on cores [0, P) (socket 0 in a 2-socket machine),
+// consumers on cores [cores/2, cores/2 + C) (socket 1). The queue is
+// pre-filled so consumers rarely see it empty (Figure 7's setup).
+template <typename QueueT>
+SimRunResult run_mixed(Machine& m, QueueT& q, int producers, int consumers,
+                       Value ops_per_thread, Value prefill,
+                       std::uint64_t seed = 1, int consumer_id_offset = 0) {
+  // Un-measured pre-fill by the producers' cores.
+  const Value per_producer =
+      (prefill + static_cast<Value>(producers) - 1) /
+      static_cast<Value>(producers);
+  auto fill_acc = std::make_shared<detail::Accum>();
+  for (int p = 0; p < producers; ++p) {
+    m.spawn(detail::producer_thread(m, q, p, p, per_producer,
+                                    seed * 7 + static_cast<std::uint64_t>(p),
+                                    fill_acc));
+  }
+  m.run();
+
+  auto acc = std::make_shared<detail::Accum>();
+  const int consumer_core0 = m.core_count() / 2;
+  const Time start = m.engine().now();
+  for (int p = 0; p < producers; ++p) {
+    m.spawn(detail::producer_thread(m, q, p, p, ops_per_thread,
+                                    seed * 1000003 + static_cast<std::uint64_t>(p),
+                                    acc));
+  }
+  for (int ci = 0; ci < consumers; ++ci) {
+    m.spawn(detail::consumer_thread(m, q, consumer_core0 + ci,
+                                    consumer_id_offset + ci, ops_per_thread,
+                                    seed * 2000003 + static_cast<std::uint64_t>(ci),
+                                    acc));
+  }
+  m.run();
+  SimRunResult r;
+  r.enq_ops = acc->enq;
+  r.deq_ops = acc->deq;
+  r.enq_latency_cycles = acc->enq ? acc->enq_lat / static_cast<double>(acc->enq) : 0;
+  r.deq_latency_cycles = acc->deq ? acc->deq_lat / static_cast<double>(acc->deq) : 0;
+  r.duration_cycles = static_cast<double>(m.engine().now() - start);
+  return r;
+}
+
+}  // namespace sbq::simq

@@ -1,0 +1,15 @@
+#include "benchsupport/sweep.hpp"
+
+namespace sbq {
+
+std::vector<int> default_single_socket_sweep() {
+  return {1, 2, 4, 6, 8, 10, 12, 16, 20, 24, 28, 32, 36, 40, 44};
+}
+
+std::vector<int> default_dual_socket_sweep() {
+  return {2, 4, 8, 12, 16, 24, 32, 40, 48, 56, 64, 72, 80, 88};
+}
+
+double ns_per_cycle() { return 0.4; }
+
+}  // namespace sbq

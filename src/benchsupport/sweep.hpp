@@ -1,0 +1,22 @@
+// Thread-count sweeps and cycle/nanosecond calibration shared by the
+// figure-reproduction benchmarks.
+#pragma once
+
+#include <vector>
+
+namespace sbq {
+
+// The paper's single-socket sweeps run 1..44 hardware threads on one
+// 22-core/44-thread Broadwell. We sample the same range.
+std::vector<int> default_single_socket_sweep();
+
+// The mixed workload (Figure 7) splits threads evenly across two sockets,
+// 2..88 total. Values returned are *total* thread counts (even).
+std::vector<int> default_dual_socket_sweep();
+
+// Simulated-cycle to nanosecond conversion. The simulator's unit time is one
+// "cycle"; the paper's Broadwell E5-2699 v4 runs at ~2.5 GHz under all-core
+// turbo, i.e. 0.4 ns/cycle.
+double ns_per_cycle();
+
+}  // namespace sbq

@@ -1,0 +1,95 @@
+#include "benchsupport/table.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sbq {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("Table::add_row: cell count != column count");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> out;
+  out.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    out.push_back(ss.str());
+  }
+  add_row(std::move(out));
+}
+
+void Table::print(std::ostream& os, bool csv) const {
+  if (csv) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << columns_[c] << (c + 1 < columns_.size() ? "," : "\n");
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        os << row[c] << (c + 1 < row.size() ? "," : "\n");
+      }
+    }
+    return;
+  }
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c])) << row[c]
+         << (c + 1 < row.size() ? "  " : "\n");
+    }
+  };
+  print_row(columns_);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << std::string(widths[c], '-') << (c + 1 < columns_.size() ? "  " : "\n");
+  }
+  for (const auto& row : rows_) print_row(row);
+}
+
+BenchOptions BenchOptions::parse(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) throw std::invalid_argument(std::string(a) + " needs a value");
+      return argv[++i];
+    };
+    if (std::strcmp(a, "--csv") == 0) {
+      opts.csv = true;
+    } else if (std::strcmp(a, "--seed") == 0) {
+      opts.seed = std::strtoull(next_value(), nullptr, 10);
+    } else if (std::strcmp(a, "--ops") == 0) {
+      opts.ops = std::strtoull(next_value(), nullptr, 10);
+    } else if (std::strcmp(a, "--repeats") == 0) {
+      opts.repeats = static_cast<int>(std::strtol(next_value(), nullptr, 10));
+    } else if (std::strcmp(a, "--threads") == 0) {
+      const char* list = next_value();
+      std::stringstream ss(list);
+      std::string tok;
+      while (std::getline(ss, tok, ',')) {
+        opts.threads.push_back(std::atoi(tok.c_str()));
+      }
+    } else {
+      throw std::invalid_argument(std::string("unknown option: ") + a);
+    }
+  }
+  return opts;
+}
+
+}  // namespace sbq

@@ -1,0 +1,42 @@
+// Table/CSV emitter for the benchmark harness: every fig*/ablation_* binary
+// prints an aligned human-readable table by default and machine-readable CSV
+// with --csv, matching the series the paper plots.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sbq {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+  // Convenience: formats doubles with the given precision.
+  void add_row(const std::vector<double>& cells, int precision = 2);
+
+  void print(std::ostream& os, bool csv) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  const std::vector<std::string>& column_names() const noexcept { return columns_; }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Shared CLI parsing for bench binaries: recognizes --csv, --seed N,
+// --threads LIST (comma separated), --ops N, --repeats N.
+struct BenchOptions {
+  bool csv = false;
+  unsigned long long seed = 42;
+  std::vector<int> threads;       // empty => binary default sweep
+  unsigned long long ops = 0;     // 0 => binary default
+  int repeats = 0;                // 0 => binary default
+  static BenchOptions parse(int argc, char** argv);
+};
+
+}  // namespace sbq

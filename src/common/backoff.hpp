@@ -1,0 +1,52 @@
+// Bounded exponential backoff and calibrated busy-wait delays.
+//
+// TxCAS (§4.1 of the paper) requires a *timed* intra-transaction delay
+// (~270 ns on the authors' Broadwell) and a short post-abort delay (§4.2).
+// Inside a hardware transaction one cannot call clock functions (they may
+// abort the transaction), so the delay must be a calibrated spin loop.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace sbq {
+
+// One "relax" hint to the pipeline (PAUSE on x86).
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+// Spin for approximately `iters` relax iterations. Transaction-safe: touches
+// no memory and makes no calls that could abort an HTM transaction.
+inline void spin_iterations(std::uint32_t iters) noexcept {
+  for (std::uint32_t i = 0; i < iters; ++i) cpu_relax();
+}
+
+// Classic bounded exponential backoff for CAS retry loops.
+class Backoff {
+ public:
+  explicit Backoff(std::uint32_t min_iters = 1, std::uint32_t max_iters = 1024) noexcept
+      : cur_(min_iters), max_(max_iters) {}
+
+  void pause() noexcept {
+    spin_iterations(cur_);
+    if (cur_ < max_) cur_ *= 2;
+  }
+
+  void reset(std::uint32_t min_iters = 1) noexcept { cur_ = min_iters; }
+
+ private:
+  std::uint32_t cur_;
+  std::uint32_t max_;
+};
+
+}  // namespace sbq

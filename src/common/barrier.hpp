@@ -1,0 +1,40 @@
+// Sense-reversing spin barrier for benchmark thread start/stop alignment.
+//
+// std::barrier parks threads in the kernel; for latency benchmarks we want
+// every thread to leave the barrier within a few cycles of each other, so we
+// spin. Contention is consistent throughout each experiment (§6.1).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/backoff.hpp"
+#include "common/cacheline.hpp"
+
+namespace sbq {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties) noexcept
+      : parties_(parties), remaining_(parties) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(parties_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) != my_sense) cpu_relax();
+    }
+  }
+
+ private:
+  const std::size_t parties_;
+  alignas(kCacheLineSize) std::atomic<std::size_t> remaining_;
+  alignas(kCacheLineSize) std::atomic<bool> sense_{false};
+};
+
+}  // namespace sbq

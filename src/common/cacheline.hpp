@@ -1,0 +1,20 @@
+// Cache-line geometry constants used to avoid false sharing.
+//
+// The paper's algorithms (SBQ basket cells, queue head/tail, the TxCAS target
+// word) all assume that distinct shared variables live on distinct cache
+// lines; contention analysis in §3 is per-line. Everything contended in this
+// library is padded with these helpers.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace sbq {
+
+// Fixed at 64 bytes (x86-64, common ARM64) rather than
+// std::hardware_destructive_interference_size: the standard constant varies
+// with tuning flags, which would make the padded struct layouts part of an
+// unstable ABI (GCC's -Winterference-size says as much).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+}  // namespace sbq

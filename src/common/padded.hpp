@@ -1,0 +1,31 @@
+// Padded<T>: wraps a value so it occupies (at least) a whole cache line.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+#include "common/cacheline.hpp"
+
+namespace sbq {
+
+// A T aligned to and padded out to a cache line. Used for per-thread slots
+// (e.g. SBQ basket cells, the protectors array) where false sharing would
+// otherwise dominate the measurement.
+template <typename T>
+struct alignas(kCacheLineSize) Padded {
+  T value{};
+
+  Padded() = default;
+  explicit Padded(T v) : value(std::move(v)) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+static_assert(alignof(Padded<int>) == kCacheLineSize);
+static_assert(sizeof(Padded<int>) % kCacheLineSize == 0);
+
+}  // namespace sbq

@@ -1,0 +1,69 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sbq {
+
+void Summary::add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+void Summary::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::mean() const noexcept {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double Summary::sum() const noexcept {
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s;
+}
+
+double Summary::stddev() const noexcept {
+  const std::size_t n = samples_.size();
+  if (n < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(n - 1));
+}
+
+double Summary::min() const noexcept {
+  if (samples_.empty()) return 0.0;
+  sort_if_needed();
+  return samples_.front();
+}
+
+double Summary::max() const noexcept {
+  if (samples_.empty()) return 0.0;
+  sort_if_needed();
+  return samples_.back();
+}
+
+double Summary::percentile(double p) const {
+  if (samples_.empty()) throw std::logic_error("percentile of empty Summary");
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  sort_if_needed();
+  // Nearest-rank method.
+  const std::size_t n = samples_.size();
+  std::size_t rank = static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  return samples_[rank - 1];
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace sbq

@@ -1,0 +1,52 @@
+// Summary statistics for benchmark reporting (mean, stddev, percentiles).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sbq {
+
+// Accumulates samples and produces the summary values the paper's plots use
+// (averages over 5 executions with stddev error bars, latency percentiles).
+class Summary {
+ public:
+  void add(double sample);
+  void clear() noexcept { samples_.clear(); sorted_ = true; }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  double mean() const noexcept;
+  double stddev() const noexcept;  // sample standard deviation (n-1)
+  double min() const noexcept;
+  double max() const noexcept;
+  double sum() const noexcept;
+  // Nearest-rank percentile, p in [0, 100].
+  double percentile(double p) const;
+
+ private:
+  void sort_if_needed() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Online Welford accumulator for streaming settings (simulator counters).
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+  }
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace sbq

@@ -1,0 +1,28 @@
+// Wall-clock timing helpers for the native benchmarks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace sbq {
+
+class StopWatch {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  StopWatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_ns() const {
+    return std::chrono::duration<double, std::nano>(clock::now() - start_).count();
+  }
+  double elapsed_us() const { return elapsed_ns() / 1e3; }
+  double elapsed_ms() const { return elapsed_ns() / 1e6; }
+  double elapsed_s() const { return elapsed_ns() / 1e9; }
+
+ private:
+  clock::time_point start_;
+};
+
+}  // namespace sbq

@@ -1,0 +1,76 @@
+#include "common/topology.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace sbq {
+namespace {
+
+// Reads a small integer from a sysfs file; returns fallback on any failure.
+int read_int_file(const std::string& path, int fallback) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return fallback;
+  int v = fallback;
+  if (std::fscanf(f, "%d", &v) != 1) v = fallback;
+  std::fclose(f);
+  return v;
+}
+
+}  // namespace
+
+Topology Topology::discover() {
+  Topology topo;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::set<int> sockets;
+  std::map<std::pair<int, int>, int> core_seen;  // (socket, core) -> count
+
+  for (unsigned cpu = 0; cpu < hw; ++cpu) {
+    const std::string base =
+        "/sys/devices/system/cpu/cpu" + std::to_string(cpu) + "/topology/";
+    CpuInfo info{};
+    info.os_cpu = static_cast<int>(cpu);
+    info.socket = read_int_file(base + "physical_package_id", 0);
+    info.core = read_int_file(base + "core_id", static_cast<int>(cpu));
+    info.smt_sibling = false;
+    sockets.insert(info.socket);
+    const auto key = std::make_pair(info.socket, info.core);
+    info.smt_sibling = core_seen[key] > 0;
+    ++core_seen[key];
+    topo.cpus_.push_back(info);
+  }
+  topo.sockets_ = sockets.empty() ? 1 : sockets.size();
+  return topo;
+}
+
+std::vector<int> Topology::socket_cpus(int socket) const {
+  std::vector<int> primary;
+  std::vector<int> siblings;
+  for (const auto& c : cpus_) {
+    if (c.socket != socket) continue;
+    (c.smt_sibling ? siblings : primary).push_back(c.os_cpu);
+  }
+  primary.insert(primary.end(), siblings.begin(), siblings.end());
+  return primary;
+}
+
+bool pin_current_thread(int os_cpu) noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(os_cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)os_cpu;
+  return false;
+#endif
+}
+
+}  // namespace sbq

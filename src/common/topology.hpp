@@ -1,0 +1,44 @@
+// Host CPU topology discovery and thread pinning.
+//
+// The paper pins every benchmark thread to a hardware thread, with all
+// threads of the same type (producer/consumer) on the same socket (§4.3,
+// §6.1). On the host we expose the same controls; the simulator has its own
+// explicit topology (sim/machine.hpp).
+#pragma once
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace sbq {
+
+struct CpuInfo {
+  int os_cpu;   // OS CPU id to pass to the affinity mask
+  int socket;   // physical package id, -1 if unknown
+  int core;     // physical core id within socket, -1 if unknown
+  bool smt_sibling;  // true if another CpuInfo shares the same (socket, core)
+};
+
+class Topology {
+ public:
+  // Reads /sys/devices/system/cpu; falls back to a flat topology of
+  // hardware_concurrency() CPUs when sysfs is unavailable.
+  static Topology discover();
+
+  std::size_t cpu_count() const noexcept { return cpus_.size(); }
+  std::size_t socket_count() const noexcept { return sockets_; }
+  const std::vector<CpuInfo>& cpus() const noexcept { return cpus_; }
+
+  // CPUs of a socket, physical cores first, SMT siblings after — matching
+  // the paper's pinning order (fill cores, then hyperthreads).
+  std::vector<int> socket_cpus(int socket) const;
+
+ private:
+  std::vector<CpuInfo> cpus_;
+  std::size_t sockets_ = 1;
+};
+
+// Pin the calling thread to one OS CPU. Returns false if unsupported.
+bool pin_current_thread(int os_cpu) noexcept;
+
+}  // namespace sbq

@@ -1,0 +1,64 @@
+// CAS policies pluggable into the modular baskets queue's try_append.
+//
+// The paper evaluates SBQ-HTM (TxCAS) against SBQ-CAS (plain CAS with the
+// same delay inserted before the attempt). Both are expressed here as
+// policies satisfying the CasPolicy concept, so sbq::Queue is instantiated
+// once and measured with either.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstdint>
+
+#include "common/backoff.hpp"
+#include "htm/txcas.hpp"
+
+namespace sbq {
+
+template <typename P, typename T>
+concept CasPolicy = requires(const P& p, std::atomic<T>& a, T v) {
+  { p(a, v, v) } noexcept -> std::same_as<bool>;
+};
+
+// Plain hardware CAS.
+struct NativeCas {
+  template <typename T>
+  bool operator()(std::atomic<T>& target, T expected, T desired) const noexcept {
+    return target.compare_exchange_strong(expected, desired,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire);
+  }
+};
+
+// SBQ-CAS from §6.1: plain CAS preceded by the same delay TxCAS performs
+// between its read and write. The delay widens the window in which multiple
+// enqueuers observe the same tail, which grows the baskets and is why
+// SBQ-CAS tracks SBQ-HTM at low concurrency (Figure 5).
+struct DelayedCas {
+  std::uint32_t delay_iterations = 64;
+
+  template <typename T>
+  bool operator()(std::atomic<T>& target, T expected, T desired) const noexcept {
+    if (target.load(std::memory_order_acquire) != expected) return false;
+    spin_iterations(delay_iterations);
+    return target.compare_exchange_strong(expected, desired,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire);
+  }
+};
+
+// TxCAS policy wrapper (degrades to a delayed plain CAS without RTM).
+struct HtmCas {
+  TxCasConfig config{};
+
+  template <typename T>
+  bool operator()(std::atomic<T>& target, T expected, T desired) const noexcept {
+    return TxCas<T>(config)(target, expected, desired);
+  }
+};
+
+static_assert(CasPolicy<NativeCas, void*>);
+static_assert(CasPolicy<DelayedCas, void*>);
+static_assert(CasPolicy<HtmCas, void*>);
+
+}  // namespace sbq

@@ -1,0 +1,84 @@
+// Transactional lock elision on top of the HTM facade.
+//
+// A general-purpose utility in the spirit of the paper's HTM usage: run a
+// critical section as a hardware transaction subscribed to a fallback
+// spinlock; on repeated aborts (or on hosts without RTM), take the lock for
+// real. This gives library users a second, simpler way to profit from HTM
+// beyond TxCAS, with identical semantics either way.
+//
+// Usage:
+//   ElidableLock lock;
+//   elide(lock, [&] { /* critical section */ });
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/backoff.hpp"
+#include "common/cacheline.hpp"
+#include "htm/htm.hpp"
+
+namespace sbq {
+
+// Test-and-test-and-set spinlock whose state is readable inside a
+// transaction (the elision subscription read).
+class ElidableLock {
+ public:
+  bool is_locked() const noexcept {
+    return locked_.load(std::memory_order_acquire);
+  }
+
+  void lock() noexcept {
+    Backoff backoff;
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      while (locked_.load(std::memory_order_relaxed)) backoff.pause();
+      backoff.reset();
+    }
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  alignas(kCacheLineSize) std::atomic<bool> locked_{false};
+};
+
+struct ElisionStats {
+  std::uint64_t transactional_commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t lock_acquisitions = 0;
+};
+
+// Runs `critical_section` under elision of `lock`. Returns how the section
+// ultimately executed. `max_attempts` transactional tries, then the lock.
+template <typename F>
+void elide(ElidableLock& lock, F&& critical_section, int max_attempts = 8,
+           ElisionStats* stats = nullptr) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const unsigned ret = htm::begin();
+    if (htm::started(ret)) {
+      // Subscribe to the lock: if someone holds it, we must not run
+      // transactionally alongside them; abort and wait.
+      if (lock.is_locked()) htm::abort_with(0xfe);
+      critical_section();
+      htm::end();
+      if (stats != nullptr) ++stats->transactional_commits;
+      return;
+    }
+    if (stats != nullptr) ++stats->aborts;
+    // Explicit lock-subscription abort: spin until free before retrying,
+    // otherwise the transaction would just abort again immediately.
+    if (htm::is_explicit(ret) && htm::explicit_code(ret) == 0xfe) {
+      while (lock.is_locked()) cpu_relax();
+      continue;
+    }
+    // Non-retryable abort classes go straight to the lock.
+    if (!(ret & (htm::kAbortRetry | htm::kAbortConflict))) break;
+  }
+  lock.lock();
+  critical_section();
+  lock.unlock();
+  if (stats != nullptr) ++stats->lock_acquisitions;
+}
+
+}  // namespace sbq

@@ -1,0 +1,99 @@
+// TxCAS: compare-and-set implemented as a hardware transaction (Algorithm 1
+// of the paper), with the wait-free plain-CAS fallback the paper describes
+// in prose ("Progress", §4).
+//
+// Structure of one attempt:
+//   outer xbegin
+//     nested xbegin            -- so conflict aborts report the NESTED bit
+//       value = *ptr
+//       if value != old: xabort(1)   -- explicit self-abort => return false
+//       delay()                -- intra-transaction delay (§4.1)
+//     nested xend
+//     *ptr = new               -- the CAS write
+//   outer xend  => return true
+//
+// Abort handling (§4.2):
+//   * explicit self-abort  -> false (value mismatch observed in the txn)
+//   * non-conflict abort, or conflict after the nested txn (we may be the
+//     tripped writer) -> retry immediately
+//   * conflict inside the nested txn -> post-abort delay, then re-read the
+//     target; if it changed, fail; else retry.
+//
+// On hosts without RTM, htm::begin() always reports a non-conflict abort,
+// so attempts fall straight through to the bounded-retry fallback, making
+// TxCas semantically a (delayed) plain CAS — the paper's SBQ-CAS variant.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/backoff.hpp"
+#include "htm/htm.hpp"
+
+namespace sbq {
+
+struct TxCasConfig {
+  // Intra-transaction delay between the read and the write, in spin
+  // iterations (§4.1; ~270 ns on the paper's Broadwell).
+  std::uint32_t intra_txn_delay = 64;
+  // Post-abort delay before re-reading the target (§4.2): long enough for
+  // an in-flight writer's GetM to complete so that our read does not trip it.
+  std::uint32_t post_abort_delay = 16;
+  // After this many transactional attempts, fall back to plain CAS. This is
+  // what makes TxCAS wait-free despite HTM offering no progress guarantee.
+  std::uint32_t max_attempts = 32;
+};
+
+// Explicit-abort code used by the value-mismatch self-abort.
+inline constexpr std::uint8_t kTxCasMismatchCode = 1;
+
+template <typename T>
+class TxCas {
+ public:
+  explicit TxCas(TxCasConfig cfg = {}) noexcept : cfg_(cfg) {}
+
+  // CAS(target, expected, desired) with TxCAS failure scalability.
+  bool operator()(std::atomic<T>& target, T expected, T desired) const noexcept {
+    for (std::uint32_t attempt = 0; attempt < cfg_.max_attempts; ++attempt) {
+      const unsigned ret = htm::begin();
+      if (htm::started(ret)) {
+        // Nested transaction wraps the read+check+delay so that a conflict
+        // there is distinguishable from one that trips the write.
+        const unsigned nested = htm::begin();
+        if (htm::started(nested)) {
+          const T value = target.load(std::memory_order_relaxed);
+          if (value != expected) htm::abort_with(kTxCasMismatchCode);
+          spin_iterations(cfg_.intra_txn_delay);
+          htm::end();
+        }
+        target.store(desired, std::memory_order_relaxed);
+        htm::end();
+        return true;
+      }
+      // Aborted. Execution resumes here with the abort status in `ret`.
+      if (htm::is_explicit(ret) && htm::explicit_code(ret) == kTxCasMismatchCode) {
+        return false;  // observed a different value inside the transaction
+      }
+      if (!(htm::is_conflict(ret) && htm::is_nested(ret))) {
+        // Either a non-conflict abort, or a conflict that tripped our write:
+        // retry immediately (delaying would only waste the commit window).
+        continue;
+      }
+      // Conflict during the read step: someone's write is in flight. Wait
+      // for their GetM to finish before reading, to avoid tripping them.
+      spin_iterations(cfg_.post_abort_delay);
+      if (target.load(std::memory_order_acquire) != expected) return false;
+    }
+    // Wait-free fallback: a plain CAS always terminates.
+    return target.compare_exchange_strong(expected, desired,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire);
+  }
+
+  const TxCasConfig& config() const noexcept { return cfg_; }
+
+ private:
+  TxCasConfig cfg_;
+};
+
+}  // namespace sbq

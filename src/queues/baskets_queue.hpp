@@ -1,0 +1,215 @@
+// The original baskets queue of Hoffman, Shalev and Shavit (OPODIS 2007),
+// implemented clean-room from the algorithm description.
+//
+// Structure: a Michael–Scott list whose enqueue, on a failed tail-link CAS,
+// retries insertion *at the same node* (the implicit LIFO basket) by CASing
+// itself between the tail node and its successor, instead of chasing the new
+// tail. Dequeued nodes are logically deleted by setting a tag bit in their
+// next pointer; a deleted bit on the successor chain is what closes a basket
+// to further insertions. Physical unlinking happens when head is advanced
+// over a chain of deleted nodes.
+//
+// Pointers carry a (deleted | tag) word to the side: we pack the deleted bit
+// into the pointer's LSB (nodes are cache-line aligned) and rely on hazard
+// pointers for ABA-safe reclamation instead of the original's tag counters.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/backoff.hpp"
+#include "common/cacheline.hpp"
+#include "reclaim/hazard_pointers.hpp"
+
+namespace sbq {
+
+template <typename T>
+class BasketsQueue {
+ public:
+  explicit BasketsQueue(std::size_t max_threads) : hp_(max_threads) {
+    Node* sentinel = new Node{};
+    head_.store(pack(sentinel, false), std::memory_order_relaxed);
+    tail_.store(pack(sentinel, false), std::memory_order_relaxed);
+  }
+
+  BasketsQueue(const BasketsQueue&) = delete;
+  BasketsQueue& operator=(const BasketsQueue&) = delete;
+
+  ~BasketsQueue() {
+    Node* n = ptr(head_.load(std::memory_order_relaxed));
+    while (n != nullptr) {
+      Node* next = ptr(n->next.load(std::memory_order_relaxed));
+      delete n;
+      n = next;
+    }
+  }
+
+  void enqueue(T* element, int id) {
+    Node* node = new Node{};
+    node->element = element;
+    Backoff backoff;
+    for (;;) {
+      const Word tail_w = tail_.load(std::memory_order_acquire);
+      Node* tail = ptr(tail_w);
+      hp_.set(tail, id, 0);
+      if (tail_w != tail_.load(std::memory_order_acquire)) continue;
+      const Word next_w = tail->next.load(std::memory_order_acquire);
+      if (ptr(next_w) == nullptr) {
+        // Try to link after the tail.
+        node->next.store(pack(nullptr, false), std::memory_order_relaxed);
+        Word expected = next_w;
+        if (tail->next.compare_exchange_strong(expected, pack(node, false),
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+          Word tw = tail_w;
+          tail_.compare_exchange_strong(tw, pack(node, false),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire);
+          hp_.clear(id);
+          return;
+        }
+        // CAS failed: a winner linked its node concurrently — we are in its
+        // basket's equivalence class. Retry insertion at the same tail node,
+        // placing ourselves between `tail` and its current successor.
+        for (;;) {
+          const Word succ_w = tail->next.load(std::memory_order_acquire);
+          if (deleted(succ_w) ||
+              tail_w != tail_.load(std::memory_order_acquire)) {
+            break;  // basket closed or tail moved on; restart outer loop
+          }
+          node->next.store(succ_w, std::memory_order_relaxed);
+          Word e = succ_w;
+          if (tail->next.compare_exchange_strong(e, pack(node, false),
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_acquire)) {
+            hp_.clear(id);
+            return;
+          }
+          backoff.pause();
+        }
+      } else {
+        // Stale tail: chase the last node and swing the tail pointer.
+        Node* last = ptr(next_w);
+        Word last_next = last->next.load(std::memory_order_acquire);
+        while (ptr(last_next) != nullptr &&
+               tail_w == tail_.load(std::memory_order_acquire)) {
+          last = ptr(last_next);
+          last_next = last->next.load(std::memory_order_acquire);
+        }
+        Word tw = tail_w;
+        tail_.compare_exchange_strong(tw, pack(last, false),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+      }
+    }
+  }
+
+  T* dequeue(int id) {
+    Backoff backoff;
+    for (;;) {
+      const Word head_w = head_.load(std::memory_order_acquire);
+      Node* head = ptr(head_w);
+      hp_.set(head, id, 0);
+      if (head_w != head_.load(std::memory_order_acquire)) continue;
+      const Word tail_w = tail_.load(std::memory_order_acquire);
+
+      // Skip over logically deleted nodes after head.
+      Node* iter = head;
+      Word next_w = iter->next.load(std::memory_order_acquire);
+      while (deleted(next_w) && ptr(next_w) != nullptr) {
+        iter = ptr(next_w);
+        hp_.set(iter, id, 1);
+        next_w = iter->next.load(std::memory_order_acquire);
+      }
+      if (head_w != head_.load(std::memory_order_acquire)) continue;
+
+      if (ptr(next_w) == nullptr) {
+        // Reached the end through deleted nodes: free the chain, then empty.
+        if (iter != head) free_chain(head_w, pack(iter, false), id);
+        hp_.clear(id);
+        if (iter == ptr(tail_.load(std::memory_order_acquire))) return nullptr;
+        continue;  // tail lagging behind deleted chain; retry
+      }
+
+      if (head == ptr(tail_w)) {
+        // Tail is stale; help it forward, then retry.
+        Node* last = iter;
+        Word ln = next_w;
+        while (ptr(ln) != nullptr) {
+          last = ptr(ln);
+          ln = last->next.load(std::memory_order_acquire);
+        }
+        Word tw = tail_w;
+        tail_.compare_exchange_strong(tw, pack(last, false),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+        continue;
+      }
+
+      // Logically delete the first live successor.
+      Node* next = ptr(next_w);
+      hp_.set(next, id, 2);
+      if (iter->next.load(std::memory_order_acquire) != next_w) continue;
+      T* element = next->element;
+      Word e = next_w;
+      if (iter->next.compare_exchange_strong(e, pack(next, true),
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+        // Periodically advance head and reclaim the deleted prefix.
+        if (next->seq_hint++ % kReclaimPeriod == 0) {
+          free_chain(head_w, pack(next, false), id);
+        }
+        hp_.clear(id);
+        return element;
+      }
+      backoff.pause();
+    }
+  }
+
+ private:
+  using Word = std::uintptr_t;
+
+  struct Node {
+    T* element = nullptr;
+    std::uint32_t seq_hint = 0;  // heuristic reclaim trigger; not synchronized
+    alignas(kCacheLineSize) std::atomic<Word> next{0};
+  };
+  struct NodeDeleter {
+    void operator()(Node* n) const { delete n; }
+  };
+
+  static constexpr Word kDeletedBit = 1;
+  static constexpr std::uint32_t kReclaimPeriod = 16;
+
+  static Node* ptr(Word w) noexcept {
+    return reinterpret_cast<Node*>(w & ~kDeletedBit);
+  }
+  static bool deleted(Word w) noexcept { return (w & kDeletedBit) != 0; }
+  static Word pack(Node* n, bool del) noexcept {
+    return reinterpret_cast<Word>(n) | (del ? kDeletedBit : 0);
+  }
+
+  // Advance head from old_head to new_head and retire the skipped nodes.
+  void free_chain(Word old_head, Word new_head, int id) {
+    Word expected = old_head;
+    if (!head_.compare_exchange_strong(expected, new_head,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      return;
+    }
+    Node* n = ptr(old_head);
+    Node* stop = ptr(new_head);
+    while (n != stop) {
+      Node* next = ptr(n->next.load(std::memory_order_acquire));
+      hp_.retire(n, id);
+      n = next;
+    }
+  }
+
+  HazardPointers<Node, NodeDeleter> hp_;
+  alignas(kCacheLineSize) std::atomic<Word> head_;
+  alignas(kCacheLineSize) std::atomic<Word> tail_;
+};
+
+}  // namespace sbq

@@ -1,0 +1,160 @@
+// FAA-based segment queue — the stand-in for the FAA-only family (LCRQ of
+// Morrison & Afek 2013; the wait-free queue of Yang & Mellor-Crummey 2016,
+// which the paper treats as the fastest queue in the literature).
+//
+// Design (the classic "FAA array queue" fast path): the queue is a linked
+// list of fixed-size segments, each with its own enq/deq indices.
+//   enqueue: FAA the tail segment's enq index to claim a cell, CAS the
+//            element into it (fails only if a dequeuer poisoned the cell);
+//            if the segment is full, append a fresh segment and swing tail.
+//   dequeue: check emptiness, FAA the head segment's deq index, SWAP the
+//            cell with TAKEN; null means an overtaken enqueuer — retry.
+// One contended FAA per operation, which is exactly the cost model §3 of
+// the paper ascribes to this family. Lock-free rather than wait-free: we
+// implement the fast path, not YMC's helping slow path — the paper itself
+// notes the slow path never triggers in practice, so the performance shape
+// (and the comparison against SBQ) is preserved.
+//
+// Reclamation: hazard pointers; every cell access happens inside a validated
+// head/tail-segment hazard, so no unprotected multi-segment traversal.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/cacheline.hpp"
+#include "common/padded.hpp"
+#include "reclaim/hazard_pointers.hpp"
+
+namespace sbq {
+
+template <typename T, std::size_t kSegmentSize = 1024>
+class FaaQueue {
+ public:
+  explicit FaaQueue(std::size_t max_threads) : hp_(max_threads) {
+    Segment* s = new Segment();
+    head_.store(s, std::memory_order_relaxed);
+    tail_.store(s, std::memory_order_relaxed);
+  }
+
+  FaaQueue(const FaaQueue&) = delete;
+  FaaQueue& operator=(const FaaQueue&) = delete;
+
+  ~FaaQueue() {
+    Segment* s = head_.load(std::memory_order_relaxed);
+    while (s != nullptr) {
+      Segment* next = s->next.load(std::memory_order_relaxed);
+      delete s;
+      s = next;
+    }
+  }
+
+  void enqueue(T* element, int id) {
+    assert(element != nullptr);
+    for (;;) {
+      Segment* tail = hp_.protect(tail_, id, 0);
+      const std::uint64_t i = tail->enq_idx.fetch_add(1, std::memory_order_acq_rel);
+      if (i < kSegmentSize) {
+        void* expected = nullptr;
+        if (tail->cells[i].value.compare_exchange_strong(
+                expected, element, std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+          hp_.clear(id);
+          return;
+        }
+        continue;  // cell poisoned by an overtaking dequeuer; take a new slot
+      }
+      // Segment full: link a fresh one (or help the winner), swing the tail.
+      Segment* next = tail->next.load(std::memory_order_acquire);
+      if (next == nullptr) {
+        Segment* fresh = new Segment();
+        fresh->cells[0].value.store(element, std::memory_order_relaxed);
+        fresh->enq_idx.store(1, std::memory_order_relaxed);
+        Segment* expected = nullptr;
+        if (tail->next.compare_exchange_strong(expected, fresh,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+          Segment* t = tail;
+          tail_.compare_exchange_strong(t, fresh, std::memory_order_acq_rel,
+                                        std::memory_order_acquire);
+          hp_.clear(id);
+          return;  // element shipped inside the fresh segment
+        }
+        delete fresh;
+        next = expected;
+      }
+      Segment* t = tail;
+      tail_.compare_exchange_strong(t, next, std::memory_order_acq_rel,
+                                    std::memory_order_acquire);
+    }
+  }
+
+  T* dequeue(int id) {
+    for (;;) {
+      Segment* head = hp_.protect(head_, id, 0);
+      if (head->deq_idx.load(std::memory_order_acquire) >=
+              head->enq_idx.load(std::memory_order_acquire) &&
+          head->next.load(std::memory_order_acquire) == nullptr) {
+        hp_.clear(id);
+        return nullptr;  // empty
+      }
+      const std::uint64_t i = head->deq_idx.fetch_add(1, std::memory_order_acq_rel);
+      if (i < kSegmentSize) {
+        void* value =
+            head->cells[i].value.exchange(kTaken, std::memory_order_acq_rel);
+        if (value != nullptr) {
+          hp_.clear(id);
+          return static_cast<T*>(value);
+        }
+        // Poisoned an in-flight enqueuer's cell; it will retry elsewhere.
+        // Re-check emptiness before burning another ticket.
+        if (head->deq_idx.load(std::memory_order_acquire) >=
+                head->enq_idx.load(std::memory_order_acquire) &&
+            head->next.load(std::memory_order_acquire) == nullptr) {
+          hp_.clear(id);
+          return nullptr;
+        }
+        continue;
+      }
+      // Head segment drained: advance to the next segment and retire it.
+      Segment* next = head->next.load(std::memory_order_acquire);
+      if (next == nullptr) {
+        hp_.clear(id);
+        return nullptr;  // drained and nothing after it
+      }
+      Segment* h = head;
+      if (head_.compare_exchange_strong(h, next, std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        hp_.retire(head, id);
+      }
+    }
+  }
+
+ private:
+  // One cell per cache line so concurrent claims don't false-share.
+  struct alignas(kCacheLineSize) Cell {
+    std::atomic<void*> value{nullptr};
+  };
+
+  struct Segment {
+    alignas(kCacheLineSize) std::atomic<std::uint64_t> enq_idx{0};
+    alignas(kCacheLineSize) std::atomic<std::uint64_t> deq_idx{0};
+    alignas(kCacheLineSize) std::atomic<Segment*> next{nullptr};
+    Cell cells[kSegmentSize];
+  };
+  struct SegDeleter {
+    void operator()(Segment* s) const { delete s; }
+  };
+
+  // Distinct poison address (never a valid element pointer).
+  static inline char taken_tag_;
+  static inline void* const kTaken = &taken_tag_;
+
+  HazardPointers<Segment, SegDeleter> hp_;
+  alignas(kCacheLineSize) std::atomic<Segment*> head_;
+  alignas(kCacheLineSize) std::atomic<Segment*> tail_;
+};
+
+}  // namespace sbq

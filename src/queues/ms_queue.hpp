@@ -1,0 +1,107 @@
+// The Michael–Scott lock-free queue (PODC 1996), with hazard-pointer
+// reclamation. Baseline for the CAS-retry family: a contended enqueue
+// retries its tail CAS until it wins, which is exactly the behaviour the
+// baskets queue (and SBQ) avoid.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+
+#include "common/cacheline.hpp"
+#include "reclaim/hazard_pointers.hpp"
+
+namespace sbq {
+
+template <typename T>
+class MsQueue {
+ public:
+  explicit MsQueue(std::size_t max_threads)
+      : hp_(max_threads) {
+    Node* sentinel = new Node{};
+    head_.store(sentinel, std::memory_order_relaxed);
+    tail_.store(sentinel, std::memory_order_relaxed);
+  }
+
+  MsQueue(const MsQueue&) = delete;
+  MsQueue& operator=(const MsQueue&) = delete;
+
+  ~MsQueue() {
+    Node* n = head_.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  void enqueue(T* element, int id) {
+    Node* node = new Node{};
+    node->element = element;
+    for (;;) {
+      Node* tail = hp_.protect(tail_, id, 0);
+      Node* next = tail->next.load(std::memory_order_acquire);
+      if (tail != tail_.load(std::memory_order_acquire)) continue;
+      if (next != nullptr) {
+        // Help swing the tail, then retry.
+        Node* expected = tail;
+        tail_.compare_exchange_strong(expected, next, std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+        continue;
+      }
+      Node* null_node = nullptr;
+      if (tail->next.compare_exchange_strong(null_node, node,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+        Node* expected = tail;
+        tail_.compare_exchange_strong(expected, node, std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+        hp_.clear(id);
+        return;
+      }
+    }
+  }
+
+  T* dequeue(int id) {
+    for (;;) {
+      Node* head = hp_.protect(head_, id, 0);
+      Node* tail = tail_.load(std::memory_order_acquire);
+      Node* next = hp_.protect(head->next, id, 1);
+      if (head != head_.load(std::memory_order_acquire)) continue;
+      if (next == nullptr) {
+        hp_.clear(id);
+        return nullptr;  // queue empty
+      }
+      if (head == tail) {
+        // Tail is lagging; help it forward.
+        Node* expected = tail;
+        tail_.compare_exchange_strong(expected, next, std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+        continue;
+      }
+      T* element = next->element;
+      Node* expected = head;
+      if (head_.compare_exchange_strong(expected, next, std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        hp_.clear(id);
+        hp_.retire(head, id);
+        return element;
+      }
+    }
+  }
+
+ private:
+  struct Node {
+    T* element = nullptr;
+    alignas(kCacheLineSize) std::atomic<Node*> next{nullptr};
+  };
+  struct NodeDeleter {
+    void operator()(Node* n) const { delete n; }
+  };
+
+  HazardPointers<Node, NodeDeleter> hp_;
+  alignas(kCacheLineSize) std::atomic<Node*> head_;
+  alignas(kCacheLineSize) std::atomic<Node*> tail_;
+};
+
+}  // namespace sbq

@@ -1,0 +1,19 @@
+// Shared concepts/conventions for the queue implementations.
+//
+// All queues in this library store `T*` elements (as in the paper's
+// evaluation, where elements are pointers) and take the calling thread's id
+// explicitly. Enqueuer ids and dequeuer ids are separate dense ranges
+// ([0, max_enqueuers) and [0, max_dequeuers)) as §5.2.2 assumes.
+#pragma once
+
+#include <concepts>
+
+namespace sbq {
+
+template <typename Q, typename T>
+concept ConcurrentQueue = requires(Q& q, T* x, int id) {
+  { q.enqueue(x, id) };
+  { q.dequeue(id) } -> std::same_as<T*>;
+};
+
+}  // namespace sbq

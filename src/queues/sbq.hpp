@@ -1,0 +1,206 @@
+// SBQ — the scalable baskets queue (§5 of the paper), as a modular design
+// templated over the basket implementation and the CAS policy used by
+// try_append:
+//
+//   Queue<T, SbqBasket<T>, HtmCas>      = SBQ-HTM   (the paper's SBQ)
+//   Queue<T, SbqBasket<T>, DelayedCas>  = SBQ-CAS   (§6.1 ablation)
+//   Queue<T, TreiberBasket<T>, NativeCas> ≈ structure of BQ-Original
+//
+// The queue is a singly linked list of nodes, each holding a basket.
+// enqueue (Algorithm 3): insert into a fresh node's basket, try_append the
+// node after the tail; on FAILURE insert into the *winner's* basket instead;
+// on BAD_TAIL (or failed basket insert) re-find the tail and retry.
+// dequeue (Algorithm 5): walk from head to the first non-empty basket and
+// extract. advance_node (Algorithm 6) monotonically advances head/tail by
+// node index. Reclamation is the index-based scheme of Algorithm 7.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "basket/basket.hpp"
+#include "common/cacheline.hpp"
+#include "htm/cas_policy.hpp"
+#include "reclaim/retired_list.hpp"
+
+namespace sbq {
+
+enum class AppendResult { kSuccess, kFailure, kBadTail };
+
+template <typename T, typename BasketT, typename CasPolicyT>
+class Queue {
+ public:
+  struct Node {
+    Node(std::size_t basket_capacity, std::size_t live_inserters)
+        : basket(basket_capacity, live_inserters) {}
+
+    BasketT basket;
+    std::atomic<Node*> next{nullptr};
+    std::uint64_t index = 0;
+  };
+
+  struct Config {
+    std::size_t max_enqueuers;      // basket capacity B
+    std::size_t max_dequeuers;
+    // Extract scan bound: number of enqueuers actually running. The paper's
+    // experiments fix B = 44 but determine emptiness from the live count.
+    std::size_t live_enqueuers = 0;  // 0 => max_enqueuers
+    CasPolicyT cas{};
+  };
+
+  explicit Queue(Config cfg)
+      : cfg_(cfg),
+        live_(cfg.live_enqueuers == 0 ? cfg.max_enqueuers : cfg.live_enqueuers),
+        sentinel_(new Node(cfg.max_enqueuers,
+                           cfg.live_enqueuers == 0 ? cfg.max_enqueuers
+                                                   : cfg.live_enqueuers)),
+        reclaimer_(sentinel_, cfg.max_enqueuers + cfg.max_dequeuers),
+        reusable_(cfg.max_enqueuers, nullptr) {
+    head_.store(sentinel_, std::memory_order_relaxed);
+    tail_.store(sentinel_, std::memory_order_relaxed);
+  }
+
+  Queue(const Queue&) = delete;
+  Queue& operator=(const Queue&) = delete;
+
+  ~Queue() {
+    // Single-threaded teardown: free the whole list (retired prefix plus
+    // the live portion — they form one chain starting at `retired`).
+    reclaimer_.drain_all();
+    for (Node* n : reusable_) delete n;
+  }
+
+  // Algorithm 3. `id` is the enqueuer id in [0, max_enqueuers).
+  void enqueue(T* element, int id) {
+    assert(id >= 0 && static_cast<std::size_t>(id) < cfg_.max_enqueuers);
+    Node* t = reclaimer_.protect(tail_, enq_tid(id));
+    Node* new_node = take_reusable_or_allocate(id);
+    bool inserted = new_node->basket.insert(element, id);
+    assert(inserted);
+    (void)inserted;
+    for (;;) {
+      new_node->index = t->index + 1;
+      const AppendResult status = try_append(t, new_node);
+      if (status == AppendResult::kSuccess) {
+        advance_node(tail_, new_node);
+        new_node = nullptr;  // consumed by the queue
+        break;
+      }
+      if (status == AppendResult::kFailure) {
+        // Another node was appended concurrently; join its basket.
+        t = t->next.load(std::memory_order_acquire);
+        if (t->basket.insert(element, id)) {
+          // Keep new_node for reuse by this thread's next enqueue; undo its
+          // basket insertion (O(1), §5.2.2).
+          new_node->basket.reset(id);
+          reusable_[static_cast<std::size_t>(id)] = new_node;
+          break;
+        }
+      }
+      // BAD_TAIL or failed basket insert: find the real tail and retry.
+      while (Node* next = t->next.load(std::memory_order_acquire)) t = next;
+      advance_node(tail_, t);
+    }
+    reclaimer_.unprotect(enq_tid(id));
+  }
+
+  // Algorithm 5. `id` is the dequeuer id in [0, max_dequeuers).
+  T* dequeue(int id) {
+    assert(id >= 0 && static_cast<std::size_t>(id) < cfg_.max_dequeuers);
+    Node* h = reclaimer_.protect(head_, deq_tid(id));
+    T* element = nullptr;
+    for (;;) {
+      while (h->basket.empty()) {
+        Node* next = h->next.load(std::memory_order_acquire);
+        if (next == nullptr) break;
+        h = next;
+      }
+      element = h->basket.extract(id);
+      if (element != nullptr || h->next.load(std::memory_order_acquire) == nullptr) {
+        break;
+      }
+    }
+    advance_node(head_, h);
+    reclaimer_.free_nodes(head_.load(std::memory_order_acquire));
+    reclaimer_.unprotect(deq_tid(id));
+    return element;
+  }
+
+  // Introspection for tests/benchmarks (not linearizable; quiescent use only).
+  std::size_t node_count() const {
+    std::size_t n = 0;
+    for (Node* p = head_.load(std::memory_order_acquire); p != nullptr;
+         p = p->next.load(std::memory_order_acquire)) {
+      ++n;
+    }
+    return n;
+  }
+  std::uint64_t head_index() const {
+    return head_.load(std::memory_order_acquire)->index;
+  }
+  std::uint64_t tail_index() const {
+    return tail_.load(std::memory_order_acquire)->index;
+  }
+
+ private:
+  struct NodeDeleter {
+    void operator()(Node* n) const { delete n; }
+  };
+  using Reclaimer = RetiredList<Node, NodeDeleter>;
+
+  int enq_tid(int id) const noexcept { return id; }
+  int deq_tid(int id) const noexcept {
+    return static_cast<int>(cfg_.max_enqueuers) + id;
+  }
+
+  Node* make_node() { return new Node(cfg_.max_enqueuers, live_); }
+
+  Node* take_reusable_or_allocate(int id) {
+    Node*& slot = reusable_[static_cast<std::size_t>(id)];
+    if (slot != nullptr) {
+      Node* n = slot;
+      slot = nullptr;
+      return n;
+    }
+    return make_node();
+  }
+
+  // Algorithm 4 (basic try_append) with the CAS policy plugged in. The
+  // BAD_TAIL precheck also prevents an enqueuer from re-inserting into a
+  // basket it already used in a previous completed operation (§5.2.2).
+  AppendResult try_append(Node* tail, Node* new_node) {
+    if (tail->next.load(std::memory_order_acquire) != nullptr) {
+      return AppendResult::kBadTail;
+    }
+    return cfg_.cas(tail->next, static_cast<Node*>(nullptr), new_node)
+               ? AppendResult::kSuccess
+               : AppendResult::kFailure;
+  }
+
+  // Algorithm 6: advance *ptr at least to new_node (by index).
+  static void advance_node(std::atomic<Node*>& ptr, Node* new_node) {
+    Node* old_node = ptr.load(std::memory_order_acquire);
+    for (;;) {
+      if (old_node->index >= new_node->index) return;
+      if (ptr.compare_exchange_weak(old_node, new_node, std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+        return;
+      }
+    }
+  }
+
+  Config cfg_;
+  std::size_t live_;
+  Node* sentinel_;  // initial node; ownership passes to the list/reclaimer
+  Reclaimer reclaimer_;
+  alignas(kCacheLineSize) std::atomic<Node*> head_{nullptr};
+  alignas(kCacheLineSize) std::atomic<Node*> tail_{nullptr};
+  std::vector<Node*> reusable_;  // per-enqueuer node recycled after FAILURE
+
+  friend class QueueTestPeer;
+};
+
+}  // namespace sbq

@@ -1,0 +1,87 @@
+// ValueQueue<T>: a by-value convenience adapter over the pointer-based SBQ.
+//
+// The core queue (like the paper's algorithms) moves `T*`. Applications
+// frequently want to enqueue small values; this adapter owns the element
+// storage in per-enqueuer arenas, so enqueue copies the value in and
+// dequeue moves it out (returning std::optional<T>). Elements allocated by
+// enqueuer i are recycled through arena i's remote freelist when a
+// different thread dequeues them.
+//
+// Ownership note: values still sitting in the queue when it is destroyed
+// are not individually destroyed (their storage is reclaimed with the
+// arenas). Drain the queue before destruction if T has significant
+// destructors.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "basket/sbq_basket.hpp"
+#include "common/arena.hpp"
+#include "htm/cas_policy.hpp"
+#include "queues/sbq.hpp"
+
+namespace sbq {
+
+template <typename T, typename CasPolicyT = HtmCas>
+class ValueQueue {
+ public:
+  struct Config {
+    std::size_t max_enqueuers = 1;
+    std::size_t max_dequeuers = 1;
+    CasPolicyT cas{};
+  };
+
+  explicit ValueQueue(Config cfg)
+      : enqueuers_(cfg.max_enqueuers) {
+    typename Impl::Config icfg;
+    icfg.max_enqueuers = cfg.max_enqueuers;
+    icfg.max_dequeuers = cfg.max_dequeuers;
+    icfg.cas = cfg.cas;
+    impl_ = std::make_unique<Impl>(icfg);
+    arenas_.reserve(cfg.max_enqueuers);
+    for (std::size_t i = 0; i < cfg.max_enqueuers; ++i) {
+      arenas_.push_back(std::make_unique<TypedArena<Boxed>>());
+    }
+  }
+
+  // Copies/moves `value` into per-thread storage and enqueues it.
+  template <typename U>
+  void enqueue(U&& value, int enqueuer_id) {
+    assert(enqueuer_id >= 0 &&
+           static_cast<std::size_t>(enqueuer_id) < enqueuers_);
+    auto& arena = *arenas_[static_cast<std::size_t>(enqueuer_id)];
+    Boxed* box = arena.create(std::forward<U>(value),
+                              static_cast<std::uint32_t>(enqueuer_id));
+    impl_->enqueue(box, enqueuer_id);
+  }
+
+  // Returns the next value, or nullopt if the queue is (observed) empty.
+  std::optional<T> dequeue(int dequeuer_id) {
+    Boxed* box = impl_->dequeue(dequeuer_id);
+    if (box == nullptr) return std::nullopt;
+    std::optional<T> out(std::move(box->value));
+    // Return the box to its owning enqueuer's arena (remote free).
+    arenas_[box->owner]->destroy_remote(box);
+    return out;
+  }
+
+ private:
+  struct Boxed {
+    template <typename U>
+    Boxed(U&& v, std::uint32_t o) : value(std::forward<U>(v)), owner(o) {}
+    T value;
+    std::uint32_t owner;
+  };
+  using Impl = Queue<Boxed, SbqBasket<Boxed>, CasPolicyT>;
+
+  std::size_t enqueuers_;
+  std::unique_ptr<Impl> impl_;
+  std::vector<std::unique_ptr<TypedArena<Boxed>>> arenas_;
+};
+
+}  // namespace sbq

@@ -1,0 +1,120 @@
+// Classic hazard-pointer reclamation (Michael, IEEE TPDS 2004).
+//
+// The paper notes (§5.2.2) that the modular queue is compatible with
+// standard reclamation schemes including hazard pointers; the evaluation
+// uses the index-based scheme (reclaim/retired_list.hpp). We provide hazard
+// pointers as the alternative, used by the Michael–Scott and original
+// baskets queue implementations, each of which dereferences at most two
+// shared node pointers at a time.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/padded.hpp"
+
+namespace sbq {
+
+template <typename Node, typename Deleter, std::size_t kSlotsPerThread = 3>
+class HazardPointers {
+ public:
+  HazardPointers(std::size_t max_threads, Deleter deleter = {})
+      : max_threads_(max_threads),
+        slots_(std::make_unique<Padded<Slots>[]>(max_threads)),
+        retired_(std::make_unique<Padded<RetiredVec>[]>(max_threads)),
+        deleter_(deleter) {
+    for (std::size_t t = 0; t < max_threads_; ++t) {
+      for (auto& s : slots_[t].value.hp) s.store(nullptr, std::memory_order_relaxed);
+    }
+  }
+
+  HazardPointers(const HazardPointers&) = delete;
+  HazardPointers& operator=(const HazardPointers&) = delete;
+
+  ~HazardPointers() {
+    for (std::size_t t = 0; t < max_threads_; ++t) {
+      for (Node* n : retired_[t].value.nodes) deleter_(n);
+    }
+  }
+
+  // Protect slot `slot` of thread `tid` with a validated snapshot of *src.
+  Node* protect(const std::atomic<Node*>& src, int tid, std::size_t slot) {
+    auto& hp = slots_[static_cast<std::size_t>(tid)].value.hp[slot];
+    Node* snapshot = src.load(std::memory_order_acquire);
+    for (;;) {
+      hp.store(snapshot, std::memory_order_seq_cst);
+      Node* current = src.load(std::memory_order_seq_cst);
+      if (current == snapshot) return snapshot;
+      snapshot = current;
+    }
+  }
+
+  // Protect a pointer the caller already validated by other means.
+  void set(Node* node, int tid, std::size_t slot) {
+    slots_[static_cast<std::size_t>(tid)].value.hp[slot].store(
+        node, std::memory_order_seq_cst);
+  }
+
+  void clear(int tid) {
+    for (auto& s : slots_[static_cast<std::size_t>(tid)].value.hp) {
+      s.store(nullptr, std::memory_order_release);
+    }
+  }
+
+  void retire(Node* node, int tid) {
+    auto& mine = retired_[static_cast<std::size_t>(tid)].value.nodes;
+    mine.push_back(node);
+    if (mine.size() >= scan_threshold()) scan(tid);
+  }
+
+  // Force a scan of this thread's retired list regardless of its size.
+  void flush(int tid) { scan(tid); }
+
+  std::size_t retired_count(int tid) const {
+    return retired_[static_cast<std::size_t>(tid)].value.nodes.size();
+  }
+
+ private:
+  struct Slots {
+    std::atomic<Node*> hp[kSlotsPerThread];
+  };
+  struct RetiredVec {
+    std::vector<Node*> nodes;
+  };
+
+  std::size_t scan_threshold() const noexcept {
+    return 2 * max_threads_ * kSlotsPerThread + 8;
+  }
+
+  void scan(int tid) {
+    std::vector<Node*> hazards;
+    hazards.reserve(max_threads_ * kSlotsPerThread);
+    for (std::size_t t = 0; t < max_threads_; ++t) {
+      for (const auto& s : slots_[t].value.hp) {
+        if (Node* p = s.load(std::memory_order_acquire)) hazards.push_back(p);
+      }
+    }
+    auto& mine = retired_[static_cast<std::size_t>(tid)].value.nodes;
+    std::vector<Node*> keep;
+    keep.reserve(mine.size());
+    for (Node* n : mine) {
+      bool hazardous = false;
+      for (Node* h : hazards) {
+        if (h == n) { hazardous = true; break; }
+      }
+      if (hazardous) keep.push_back(n);
+      else deleter_(n);
+    }
+    mine.swap(keep);
+  }
+
+  const std::size_t max_threads_;
+  std::unique_ptr<Padded<Slots>[]> slots_;
+  std::unique_ptr<Padded<RetiredVec>[]> retired_;
+  [[no_unique_address]] Deleter deleter_;
+};
+
+}  // namespace sbq

@@ -1,0 +1,410 @@
+// Core operation plumbing and the TxCAS state machine.
+#include "sim/core.hpp"
+
+#include <memory>
+
+#include "sim/trace.hpp"
+
+namespace sbq::sim {
+
+Core::Core(CoreId id, Engine& engine, Interconnect& net,
+           const MachineConfig& cfg, Trace* trace)
+    : id_(id), engine_(engine), net_(net), cfg_(cfg), trace_(trace),
+      dir_(net.directory_id()) {}
+
+Core::LineState Core::line_state(Addr a) const {
+  auto it = lines_.find(a);
+  return it == lines_.end() ? LineState::kInvalid : it->second.state;
+}
+
+// ---------------------------------------------------------------------------
+// Generic acquire: ensure the line is present with the needed permission,
+// then run `cont` (synchronously within the completing event).
+// ---------------------------------------------------------------------------
+
+void Core::acquire(Addr a, bool want_m, std::function<void()> cont) {
+  if (pending_.count(a) != 0) {
+    // Our own request on this line is in flight (e.g. the background GetM of
+    // an aborted transaction). Wait for it to settle, then try again.
+    waiters_[a].push_back([this, a, want_m, cont = std::move(cont)]() mutable {
+      acquire(a, want_m, std::move(cont));
+    });
+    return;
+  }
+  auto it = lines_.find(a);
+  const bool hit =
+      it != lines_.end() &&
+      (it->second.state == LineState::kModified ||
+       (!want_m && (it->second.state == LineState::kShared ||
+                    it->second.state == LineState::kOwned)));
+  if (hit) {
+    cont();
+    return;
+  }
+  issue_request(a, want_m, std::move(cont));
+}
+
+void Core::issue_request(Addr a, bool want_m, std::function<void()> cont) {
+  Pending p;
+  p.want_m = want_m;
+  p.on_complete = std::move(cont);
+  pending_.emplace(a, std::move(p));
+  Message req{want_m ? MsgType::kGetM : MsgType::kGetS, a, id_, id_, 0, 0};
+  net_.send(id_, dir_, req);
+}
+
+void Core::finish_request(Addr a) {
+  Pending& p = pending_.at(a);
+  Line& line = lines_[a];
+  // Owned-to-Modified upgrade: our copy is the authoritative one; the
+  // directory's response only carried the ack count (its value is stale).
+  const bool keep_own_value =
+      p.want_m && line.state == LineState::kOwned;
+  line.state = p.want_m ? LineState::kModified : LineState::kShared;
+  if (!keep_own_value) line.value = p.data;
+  p.locked = true;  // forwards stay stalled until the op releases the line
+  if (trace_ && trace_->enabled()) {
+    trace_->record(engine_.now(), id_,
+                   p.want_m ? "GetM complete" : "GetS complete", a,
+                   static_cast<std::int64_t>(p.data));
+  }
+  // Hand control to the operation that issued the request. It must call
+  // release_request(a) when its atomic step is done.
+  auto cont = std::move(p.on_complete);
+  if (cont) {
+    cont();
+  } else {
+    // Operation no longer cares (aborted transaction): release immediately.
+    release_request(a);
+  }
+}
+
+void Core::release_request(Addr a) {
+  auto it = pending_.find(a);
+  assert(it != pending_.end());
+  // Answer forwards stalled behind this request, in arrival order. Each may
+  // change the line's state (downgrade/invalidate).
+  std::vector<Message> stalls = std::move(it->second.stalled_fwds);
+  const bool deferred_inv = it->second.inv_after_data;
+  const CoreId inv_req = it->second.deferred_inv_requester;
+  pending_.erase(it);
+
+  if (deferred_inv) {
+    // An Inv raced with our GetS: the load observed the data once; the line
+    // is invalid from now on and the invalidating writer gets its ack.
+    Line& line = lines_[a];
+    line.state = LineState::kInvalid;
+    maybe_txn_conflict_on_loss(a, true);
+    Message ack{MsgType::kInvAck, a, id_, inv_req, 0, 0};
+    net_.send(id_, inv_req, ack);
+  }
+  for (const Message& fwd : stalls) {
+    if (fwd.type == MsgType::kFwdGetS) {
+      answer_fwd_gets(fwd);
+    } else {
+      answer_fwd_getm(fwd);
+    }
+  }
+  run_waiters(a);
+}
+
+void Core::run_waiters(Addr a) {
+  auto it = waiters_.find(a);
+  if (it == waiters_.end()) return;
+  std::vector<std::function<void()>> ws = std::move(it->second);
+  waiters_.erase(it);
+  for (auto& w : ws) w();
+}
+
+// ---------------------------------------------------------------------------
+// Plain operations.
+// ---------------------------------------------------------------------------
+
+void Core::start_load(Addr a, std::function<void(Value)> done) {
+  ++stats_.loads;
+  acquire(a, /*want_m=*/false, [this, a, done = std::move(done)] {
+    const Value v = lines_.at(a).value;
+    const bool was_miss = pending_.count(a) != 0;
+    engine_.schedule(cfg_.hit_latency, [this, a, v, was_miss, done] {
+      if (was_miss) release_request(a);
+      done(v);
+    });
+  });
+}
+
+void Core::start_store(Addr a, Value v, std::function<void()> done) {
+  ++stats_.stores;
+  acquire(a, /*want_m=*/true, [this, a, v, done = std::move(done)] {
+    lines_.at(a).value = v;
+    const bool was_miss = pending_.count(a) != 0;
+    engine_.schedule(cfg_.hit_latency, [this, a, was_miss, done] {
+      if (was_miss) release_request(a);
+      done();
+    });
+  });
+}
+
+void Core::start_rmw(Rmw kind, Addr a, Value arg0, Value arg1,
+                     std::function<void(Value)> done) {
+  ++stats_.rmws;
+  acquire(a, /*want_m=*/true,
+          [this, kind, a, arg0, arg1, done = std::move(done)] {
+    // We own the line: perform the read-modify-write atomically. Incoming
+    // forwards are stalled (pending entry is locked) until rmw_latency has
+    // elapsed — the §3.2 stall that serializes contended RMWs.
+    Line& line = lines_.at(a);
+    const Value old = line.value;
+    Value result = old;
+    switch (kind) {
+      case Rmw::kCas:
+        if (old == arg0) {
+          line.value = arg1;
+          result = 1;
+        } else {
+          result = 0;
+        }
+        break;
+      case Rmw::kFaa:
+        line.value = old + arg0;
+        break;
+      case Rmw::kSwap:
+        line.value = arg0;
+        break;
+    }
+    const bool was_miss = pending_.count(a) != 0;
+    engine_.schedule(cfg_.rmw_latency, [this, a, was_miss, result, done] {
+      if (was_miss) release_request(a);
+      done(result);
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// TxCAS (§4, Algorithm 1) as an explicit state machine. One live TxCAS per
+// core (each core runs one simulated thread).
+// ---------------------------------------------------------------------------
+
+struct Core::TxCasOp {
+  Addr addr;
+  Value expected;
+  Value desired;
+  TxCasConfig cfg;
+  int attempt = 0;
+  std::function<void(bool)> done;
+};
+
+void Core::start_txcas(Addr a, Value expected, Value desired, TxCasConfig cfg,
+                       std::function<void(bool)> done) {
+  ++stats_.txcas_calls;
+  auto op = std::make_shared<TxCasOp>();
+  op->addr = a;
+  op->expected = expected;
+  op->desired = desired;
+  op->cfg = cfg;
+  op->done = std::move(done);
+  txcas_attempt(std::move(op));
+}
+
+void Core::txcas_attempt(std::shared_ptr<TxCasOp> op) {
+  if (op->attempt >= op->cfg.max_attempts) {
+    txcas_fallback(std::move(op));
+    return;
+  }
+  ++op->attempt;
+  ++stats_.txcas_attempts;
+  txn_.active = true;
+  txn_.in_write_phase = false;
+  txn_.addr = op->addr;
+  txn_.read_marked = false;
+  ++txn_.token;
+  txn_op_ = op;
+  // Transactional read: needs the line in S (or M). The read itself is a
+  // plain GetS if we miss.
+  acquire(op->addr, /*want_m=*/false, [this, op] { txcas_on_read_ready(op); });
+}
+
+void Core::txcas_on_read_ready(std::shared_ptr<TxCasOp> op) {
+  // The acquire may complete after an asynchronous abort already tore the
+  // transaction down (e.g. deferred Inv). Detect via the token.
+  const std::uint64_t token = txn_.token;
+  if (!txn_.active || txn_op_ != op) {
+    if (pending_.count(op->addr) != 0) release_request(op->addr);
+    return;
+  }
+  const Value v = lines_.at(op->addr).value;
+  txn_.read_marked = true;
+  const bool was_miss = pending_.count(op->addr) != 0;
+  if (was_miss) release_request(op->addr);
+  if (!txn_.active || txn_op_ != op || txn_.token != token) {
+    return;  // releasing answered a deferred Inv that aborted us
+  }
+
+  if (v != op->expected) {
+    // Self-abort (_xabort(1) in Algorithm 1): the CAS fails outright.
+    ++stats_.self_aborts;
+    ++stats_.txcas_fail;
+    txn_ = Txn{.token = txn_.token};
+    txn_op_.reset();
+    engine_.schedule(cfg_.hit_latency, [op] { op->done(false); });
+    return;
+  }
+
+  // Intra-transaction delay (§4.1). A conflicting invalidation during the
+  // delay aborts the transaction (the timer notices via the token).
+  //
+  // The delay carries a deterministic per-attempt variance of up to ~50%.
+  // Real spin-loop delays have exactly this kind of spread (PAUSE latency
+  // varies with SMT and power state, _xbegin cost varies, the preceding
+  // read may hit or miss), and §4.1's argument depends on it: the winner's
+  // write must land while other transactions are still reading/delaying.
+  // A cycle-exact simulator without the variance locks all contenders into
+  // synchronized rounds in which every delay expires before the first
+  // invalidation arrives, so every transaction reaches its write — a
+  // lockstep artifact no real machine sustains.
+  delay_jitter_state_ = delay_jitter_state_ * 6364136223846793005ULL +
+                        1442695040888963407ULL +
+                        static_cast<std::uint64_t>(id_);
+  const Time jitter_range = op->cfg.intra_txn_delay / 2 + 16;
+  const Time jitter = (delay_jitter_state_ >> 33) % jitter_range;
+  engine_.schedule(op->cfg.intra_txn_delay + jitter, [this, op, token] {
+    if (!txn_.active || txn_op_ != op || txn_.token != token) return;
+    txcas_enter_write(op);
+  });
+}
+
+void Core::txcas_enter_write(std::shared_ptr<TxCasOp> op) {
+  txn_.in_write_phase = true;
+  const std::uint64_t token = txn_.token;
+  if (pending_.count(op->addr) == 0 &&
+      line_state(op->addr) == LineState::kModified) {
+    // Already own the line: the write hits and the transaction commits with
+    // (almost) no vulnerability window.
+    engine_.schedule(cfg_.hit_latency, [this, op, token] {
+      if (!txn_.active || txn_op_ != op || txn_.token != token) return;
+      txcas_commit(op);
+    });
+    return;
+  }
+  // Issue the transactional GetM. The write value stays in the store buffer
+  // (we only apply it at commit). Mark the pending request as transactional
+  // so the cache side can detect tripped-writer forwards. The token guard
+  // matters: if this attempt aborts and the op retries, the stale GetM
+  // completion must release the line instead of committing the new attempt.
+  acquire(op->addr, /*want_m=*/true, [this, op, token] {
+    if (!txn_.active || txn_op_ != op || txn_.token != token) {
+      // Aborted while the GetM was in flight: ownership still arrives; the
+      // buffered write is discarded. Release to answer stalled forwards.
+      if (pending_.count(op->addr) != 0) release_request(op->addr);
+      return;
+    }
+    txcas_commit(op);
+  });
+  auto it = pending_.find(op->addr);
+  if (it != pending_.end()) it->second.txn_write = true;
+}
+
+void Core::txcas_commit(std::shared_ptr<TxCasOp> op) {
+  // _xend: all transactional writes propagate to the cache.
+  lines_.at(op->addr).value = op->desired;
+  ++stats_.txcas_success;
+  txn_ = Txn{.token = txn_.token};
+  txn_op_.reset();
+  if (trace_ && trace_->enabled()) {
+    trace_->record(engine_.now(), id_, "txcas commit", op->addr,
+                   static_cast<std::int64_t>(op->desired));
+  }
+  const bool was_miss = pending_.count(op->addr) != 0;
+  engine_.schedule(cfg_.hit_latency, [this, op, was_miss] {
+    if (was_miss) release_request(op->addr);
+    op->done(true);
+  });
+}
+
+// Called from the protocol side when a conflicting message hits the
+// transaction's footprint. kind: 0 = conflict in the read/delay ("nested")
+// phase, 1 = conflict that tripped the write.
+void Core::txcas_abort(int kind) {
+  assert(txn_.active);
+  auto op = txn_op_;
+  txn_.active = false;
+  txn_.read_marked = false;
+  ++txn_.token;  // cancels any scheduled delay timer
+  txn_op_.reset();
+  if (trace_ && trace_->enabled()) {
+    trace_->record(engine_.now(), id_,
+                   kind == 0 ? "txcas abort (nested)" : "txcas abort (tripped)",
+                   op->addr, op->attempt);
+  }
+  if (kind == 0) {
+    ++stats_.nested_aborts;
+    // Conflict during the read step: a writer's GetM is in flight. Delay so
+    // our re-read does not trip it, then check whether the value changed
+    // (Algorithm 1 lines 19–20).
+    engine_.schedule(op->cfg.post_abort_delay,
+                     [this, op] { txcas_post_abort(op); });
+  } else {
+    // Conflict after the nested transaction (we may be the tripped writer):
+    // retry immediately (Algorithm 1 lines 16–18). The caller attributes
+    // the abort (tripped_aborts for Fwd-GetS, plain retry otherwise).
+    engine_.schedule(1, [this, op] { txcas_attempt(op); });
+  }
+}
+
+void Core::txcas_post_abort(std::shared_ptr<TxCasOp> op) {
+  start_load(op->addr, [this, op](Value v) {
+    if (v != op->expected) {
+      ++stats_.txcas_fail;
+      op->done(false);
+    } else {
+      txcas_attempt(op);
+    }
+  });
+}
+
+void Core::txcas_fallback(std::shared_ptr<TxCasOp> op) {
+  ++stats_.fallbacks;
+  start_rmw(Rmw::kCas, op->addr, op->expected, op->desired,
+            [this, op](Value ok) {
+    if (ok != 0) {
+      ++stats_.txcas_success;
+    } else {
+      ++stats_.txcas_fail;
+    }
+    op->done(ok != 0);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Awaitable glue.
+// ---------------------------------------------------------------------------
+
+void Core::ValueAwaiter::await_suspend(std::coroutine_handle<> h) {
+  auto done = [this, h](Value v) {
+    result = v;
+    h.resume();
+  };
+  switch (kind) {
+    case 0: core->start_load(addr, done); break;
+    case 1: core->start_rmw(Rmw::kCas, addr, a0, a1, done); break;
+    case 2: core->start_rmw(Rmw::kFaa, addr, a0, a1, done); break;
+    case 3: core->start_rmw(Rmw::kSwap, addr, a0, a1, done); break;
+    default: assert(false);
+  }
+}
+
+void Core::VoidAwaiter::await_suspend(std::coroutine_handle<> h) {
+  if (kind == 0) {
+    core->start_store(addr, v, [h] { h.resume(); });
+  } else {
+    core->engine_.schedule(cycles == 0 ? 1 : cycles, [h] { h.resume(); });
+  }
+}
+
+void Core::TxCasAwaiter::await_suspend(std::coroutine_handle<> h) {
+  core->start_txcas(addr, expected, desired, cfg, [this, h](bool ok) {
+    result = ok;
+    h.resume();
+  });
+}
+
+}  // namespace sbq::sim

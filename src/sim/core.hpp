@@ -1,0 +1,213 @@
+// A simulated core with its private cache.
+//
+// The core executes one simulated thread (a coroutine); its memory
+// operations are awaitables that drive the coherence protocol:
+//
+//   load/store        — GetS / GetM on miss, hit otherwise
+//   cas/faa/swap      — §3.2 semantics: acquire M ownership, stall incoming
+//                       forwards until the RMW completes (the serialized
+//                       hand-off chain of Figure 2a)
+//   txcas             — §4's TxCAS as an HTM transaction: shared-state read,
+//                       intra-transaction delay, exclusive-state write;
+//                       requester-wins conflicts; nested-abort distinction;
+//                       post-abort delay + re-check; bounded retries with a
+//                       plain-CAS fallback (wait-freedom)
+//   think             — local computation (no memory traffic)
+//
+// Protocol reactions implemented in cache.cpp:
+//   * Inv on a transactionally read line → concurrent abort (Figure 2b)
+//   * Fwd-GetS on a line with a pending transactional GetM → tripped writer
+//     (Figure 3); with MachineConfig::uarch_fix the forward is stalled until
+//     commit instead (§3.4.1)
+//   * Fwd-GetM during any pending request → stalled until the request and
+//     its operation complete (the §3.2 stall that serializes RMWs)
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/interconnect.hpp"
+#include "sim/message.hpp"
+#include "sim/types.hpp"
+
+namespace sbq::sim {
+
+class Trace;
+
+struct CoreStats {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t rmws = 0;
+  std::uint64_t txcas_calls = 0;
+  std::uint64_t txcas_success = 0;
+  std::uint64_t txcas_fail = 0;
+  std::uint64_t txcas_attempts = 0;     // transactional attempts started
+  std::uint64_t nested_aborts = 0;      // conflict during read/delay phase
+  std::uint64_t tripped_aborts = 0;     // Fwd-GetS hit the commit window
+  std::uint64_t uarch_fix_stalls = 0;   // §3.4.1 fix engaged
+  std::uint64_t self_aborts = 0;        // value mismatch inside the txn
+  std::uint64_t fallbacks = 0;          // plain-CAS fallback taken
+};
+
+class Core {
+ public:
+  Core(CoreId id, Engine& engine, Interconnect& net, const MachineConfig& cfg,
+       Trace* trace);
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  CoreId id() const noexcept { return id_; }
+  Time now() const noexcept { return engine_.now(); }
+  const CoreStats& stats() const noexcept { return stats_; }
+
+  // ---- callback-style operation starters (cache/core internals) ----
+  void start_load(Addr a, std::function<void(Value)> done);
+  void start_store(Addr a, Value v, std::function<void()> done);
+  enum class Rmw : std::uint8_t { kCas, kFaa, kSwap };
+  // CAS: arg0 = expected, arg1 = desired, completes with 1/0.
+  // FAA: arg0 = addend, completes with the old value.
+  // SWAP: arg0 = new value, completes with the old value.
+  void start_rmw(Rmw kind, Addr a, Value arg0, Value arg1,
+                 std::function<void(Value)> done);
+  void start_txcas(Addr a, Value expected, Value desired, TxCasConfig cfg,
+                   std::function<void(bool)> done);
+
+  // Network entry point (registered with the interconnect).
+  void handle(const Message& msg);
+
+  // ---- awaitables for coroutine programs ----
+  struct ValueAwaiter {
+    Core* core;
+    int kind;  // 0=load, 1=cas, 2=faa, 3=swap
+    Addr addr;
+    Value a0, a1;
+    Value result = 0;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    Value await_resume() const noexcept { return result; }
+  };
+  struct VoidAwaiter {
+    Core* core;
+    int kind;  // 0=store, 1=think
+    Addr addr;
+    Value v;
+    Time cycles;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+  };
+  struct TxCasAwaiter {
+    Core* core;
+    Addr addr;
+    Value expected, desired;
+    TxCasConfig cfg;
+    bool result = false;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    bool await_resume() const noexcept { return result; }
+  };
+
+  ValueAwaiter load(Addr a) { return {this, 0, a, 0, 0}; }
+  ValueAwaiter cas(Addr a, Value expected, Value desired) {
+    return {this, 1, a, expected, desired};
+  }
+  ValueAwaiter faa(Addr a, Value delta) { return {this, 2, a, delta, 0}; }
+  ValueAwaiter swap(Addr a, Value v) { return {this, 3, a, v, 0}; }
+  VoidAwaiter store(Addr a, Value v) { return {this, 0, a, v, 0}; }
+  VoidAwaiter think(Time cycles) { return {this, 1, 0, 0, cycles}; }
+  TxCasAwaiter txcas(Addr a, Value expected, Value desired,
+                     TxCasConfig cfg = {}) {
+    return {this, a, expected, desired, cfg};
+  }
+
+  // Test/bench introspection.
+  enum class LineState : std::uint8_t { kInvalid, kShared, kModified, kOwned };
+  LineState line_state(Addr a) const;
+  bool has_pending(Addr a) const { return pending_.count(a) != 0; }
+
+ private:
+  friend struct ValueAwaiter;
+
+  struct Line {
+    LineState state = LineState::kInvalid;
+    Value value = 0;
+  };
+
+  // One outstanding coherence request (GetS or GetM) of this core.
+  struct Pending {
+    bool want_m = false;
+    bool got_data = false;
+    Value data = 0;
+    int acks_expected = -1;  // unknown until Data arrives
+    int acks_got = 0;
+    bool locked = false;            // completed, op executing: stall forwards
+    bool inv_after_data = false;    // Inv arrived while GetS in flight
+    CoreId deferred_inv_requester = -1;
+    bool txn_write = false;         // this GetM carries a transactional write
+    std::vector<Message> stalled_fwds;
+    std::function<void()> on_complete;
+  };
+
+  // TxCAS transaction bookkeeping (one per core; cores run one thread).
+  struct Txn {
+    bool active = false;
+    bool in_write_phase = false;
+    Addr addr = 0;
+    bool read_marked = false;  // addr is in the (single-line) read set
+    std::uint64_t token = 0;   // generation; bumping cancels timers
+  };
+
+  // -- op plumbing (core.cpp) --
+  void acquire(Addr a, bool want_m, std::function<void()> cont);
+  void issue_request(Addr a, bool want_m, std::function<void()> cont);
+  void finish_request(Addr a);       // data+acks all in: install the line
+  void release_request(Addr a);      // op done: answer stalls, wake waiters
+  void run_waiters(Addr a);
+
+  // -- txcas state machine (core.cpp) --
+  struct TxCasOp;
+  void txcas_attempt(std::shared_ptr<TxCasOp> op);
+  void txcas_on_read_ready(std::shared_ptr<TxCasOp> op);
+  void txcas_enter_write(std::shared_ptr<TxCasOp> op);
+  void txcas_commit(std::shared_ptr<TxCasOp> op);
+  void txcas_abort(int kind);  // called from message handling on conflicts
+  void txcas_post_abort(std::shared_ptr<TxCasOp> op);
+  void txcas_fallback(std::shared_ptr<TxCasOp> op);
+
+  // -- protocol message handling (cache.cpp) --
+  void on_data(const Message& msg);
+  void on_inv_ack(const Message& msg);
+  void on_inv(const Message& msg);
+  void on_fwd_gets(const Message& msg);
+  void on_fwd_getm(const Message& msg);
+  void answer_fwd_gets(const Message& msg);
+  void answer_fwd_getm(const Message& msg);
+  bool fwd_predates_pending_request(Addr a, const Pending& p) const;
+  // True if the message concerns a line in the transaction's footprint and
+  // the transaction must abort (requester-wins).
+  void maybe_txn_conflict_on_loss(Addr a, bool losing_all_permissions);
+
+  CoreId id_;
+  Engine& engine_;
+  Interconnect& net_;
+  MachineConfig cfg_;
+  Trace* trace_;
+  CoreId dir_;
+
+  std::unordered_map<Addr, Line> lines_;
+  std::unordered_map<Addr, Pending> pending_;
+  std::unordered_map<Addr, std::vector<std::function<void()>>> waiters_;
+  Txn txn_;
+  std::uint64_t delay_jitter_state_ = 0x9e3779b97f4a7c15ULL;
+  std::shared_ptr<TxCasOp> txn_op_;  // live TxCAS operation, if any
+  CoreStats stats_;
+};
+
+}  // namespace sbq::sim

@@ -1,0 +1,36 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace sbq::sim {
+
+void Engine::schedule(Time delay, Action action) {
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(action)});
+}
+
+Time Engine::run() {
+  while (!queue_.empty()) {
+    // Moving out of the priority queue requires a const_cast dance; copy the
+    // small fields and move the action via top() + pop().
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.action();
+  }
+  return now_;
+}
+
+bool Engine::run_until(Time limit) {
+  while (!queue_.empty()) {
+    if (queue_.top().time > limit) return false;
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.action();
+  }
+  return true;
+}
+
+}  // namespace sbq::sim

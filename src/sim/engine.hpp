@@ -1,0 +1,53 @@
+// Discrete-event engine: a deterministic time-ordered event queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace sbq::sim {
+
+class Engine {
+ public:
+  using Action = std::function<void()>;
+
+  Time now() const noexcept { return now_; }
+
+  // Schedule `action` to run `delay` cycles from now. Events with equal
+  // timestamps run in scheduling order (FIFO), which makes runs fully
+  // deterministic.
+  void schedule(Time delay, Action action);
+
+  // Run events until the queue drains. Returns the final time.
+  Time run();
+
+  // Run until the queue drains or `limit` is reached (safety valve for
+  // tests; hitting the limit indicates livelock in the modeled protocol).
+  // Returns true if the queue drained.
+  bool run_until(Time limit);
+
+  std::uint64_t events_processed() const noexcept { return processed_; }
+  bool idle() const noexcept { return queue_.empty(); }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace sbq::sim

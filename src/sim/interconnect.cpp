@@ -1,0 +1,57 @@
+#include "sim/interconnect.hpp"
+
+#include <cassert>
+
+#include "sim/trace.hpp"
+
+namespace sbq::sim {
+
+const char* msg_type_name(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kGetS: return "GetS";
+    case MsgType::kGetM: return "GetM";
+    case MsgType::kFwdGetS: return "Fwd-GetS";
+    case MsgType::kFwdGetM: return "Fwd-GetM";
+    case MsgType::kInv: return "Inv";
+    case MsgType::kInvAck: return "Inv-Ack";
+    case MsgType::kData: return "Data";
+    case MsgType::kWbData: return "WB-Data";
+  }
+  return "?";
+}
+
+Interconnect::Interconnect(Engine& engine, const MachineConfig& cfg, Trace* trace)
+    : engine_(engine), cfg_(cfg), trace_(trace), handlers_(cfg.cores + 1) {}
+
+void Interconnect::set_handler(CoreId node,
+                               std::function<void(const Message&)> handler) {
+  assert(node >= 0 && node <= cfg_.cores);
+  handlers_[static_cast<std::size_t>(node)] = std::move(handler);
+}
+
+int Interconnect::socket_of(CoreId node) const noexcept {
+  if (node >= cfg_.cores) return 0;  // directory/LLC homed on socket 0
+  const int per_socket = (cfg_.cores + cfg_.sockets - 1) / cfg_.sockets;
+  return node / per_socket;
+}
+
+Time Interconnect::latency(CoreId src, CoreId dst) const noexcept {
+  return socket_of(src) == socket_of(dst) ? cfg_.intra_latency
+                                          : cfg_.inter_latency;
+}
+
+void Interconnect::send(CoreId src, CoreId dst, Message msg) {
+  msg.src = src;
+  ++sent_;
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_->record(engine_.now(), src,
+                   std::string("send ") + msg_type_name(msg.type) + " -> " +
+                       std::to_string(dst),
+                   msg.addr, msg.requester);
+  }
+  auto& handler = handlers_[static_cast<std::size_t>(dst)];
+  assert(handler);
+  engine_.schedule(latency(src, dst), [&handler, msg] { handler(msg); });
+}
+
+}  // namespace sbq::sim

@@ -1,0 +1,46 @@
+// Point-to-point interconnect with a NUMA latency matrix.
+//
+// Models the paper's assumptions (§3.1): point-to-point communication,
+// multiple in-flight messages (not a broadcast bus), with per-hop latency
+// that is small on-chip and several times larger across sockets (§4.3).
+// Bandwidth is unlimited; ordering between a given (src, dst) pair is
+// preserved (messages sent earlier arrive no later), which the protocol's
+// stall-and-queue logic relies on for determinism.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/message.hpp"
+#include "sim/types.hpp"
+
+namespace sbq::sim {
+
+class Trace;
+
+class Interconnect {
+ public:
+  // Node ids 0..cores-1 are cores; id `cores` is the directory/LLC, which
+  // is homed on socket 0.
+  Interconnect(Engine& engine, const MachineConfig& cfg, Trace* trace);
+
+  void set_handler(CoreId node, std::function<void(const Message&)> handler);
+
+  void send(CoreId src, CoreId dst, Message msg);
+
+  int socket_of(CoreId node) const noexcept;
+  Time latency(CoreId src, CoreId dst) const noexcept;
+  CoreId directory_id() const noexcept { return cfg_.cores; }
+
+  std::uint64_t messages_sent() const noexcept { return sent_; }
+
+ private:
+  Engine& engine_;
+  MachineConfig cfg_;
+  Trace* trace_;
+  std::vector<std::function<void(const Message&)>> handlers_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace sbq::sim

@@ -1,0 +1,64 @@
+#include "sim/machine.hpp"
+
+#include <cassert>
+
+namespace sbq::sim {
+
+Machine::Machine(MachineConfig cfg) : cfg_(cfg), trace_(cfg.record_trace) {
+  net_ = std::make_unique<Interconnect>(engine_, cfg_, &trace_);
+  directory_ = std::make_unique<Directory>(engine_, *net_, cfg_, &trace_);
+  net_->set_handler(net_->directory_id(),
+                    [this](const Message& m) { directory_->handle(m); });
+  cores_.reserve(static_cast<std::size_t>(cfg_.cores));
+  for (int i = 0; i < cfg_.cores; ++i) {
+    cores_.push_back(std::make_unique<Core>(i, engine_, *net_, cfg_, &trace_));
+    Core* c = cores_.back().get();
+    net_->set_handler(i, [c](const Message& m) { c->handle(m); });
+  }
+}
+
+Machine::~Machine() {
+  for (auto h : roots_) {
+    if (h) h.destroy();
+  }
+}
+
+Addr Machine::alloc(std::uint64_t words) {
+  const Addr base = next_addr_;
+  next_addr_ += words;
+  return base;
+}
+
+void Machine::spawn(Task<void> task) {
+  assert(task.valid());
+  auto h = task.release();
+  h.promise().on_done = [this] { ++finished_; };
+  roots_.push_back(h);
+  if (started_) {
+    engine_.schedule(0, [h] { h.resume(); });
+  }
+}
+
+Time Machine::run() {
+  if (!started_) {
+    started_ = true;
+    for (auto h : roots_) {
+      engine_.schedule(0, [h] { h.resume(); });
+    }
+  }
+  const Time t = engine_.run();
+  assert(finished_ == roots_.size() && "simulated program deadlocked");
+  return t;
+}
+
+bool Machine::run_until(Time limit) {
+  if (!started_) {
+    started_ = true;
+    for (auto h : roots_) {
+      engine_.schedule(0, [h] { h.resume(); });
+    }
+  }
+  return engine_.run_until(limit);
+}
+
+}  // namespace sbq::sim

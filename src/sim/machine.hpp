@@ -1,0 +1,104 @@
+// Machine: assembles engine + interconnect + directory + cores, provides a
+// word allocator for simulated data structures, and runs simulated-thread
+// coroutines to completion.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/coro.hpp"
+#include "sim/core.hpp"
+#include "sim/directory.hpp"
+#include "sim/engine.hpp"
+#include "sim/interconnect.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace sbq::sim {
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig cfg = {});
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  Engine& engine() noexcept { return engine_; }
+  Trace& trace() noexcept { return trace_; }
+  Directory& directory() noexcept { return *directory_; }
+  Interconnect& interconnect() noexcept { return *net_; }
+  Core& core(int i) { return *cores_.at(static_cast<std::size_t>(i)); }
+  int core_count() const noexcept { return cfg_.cores; }
+  const MachineConfig& config() const noexcept { return cfg_; }
+
+  // Allocate `words` consecutive simulated words (each its own line);
+  // returns the address of the first. Word 0 is reserved as NULL.
+  Addr alloc(std::uint64_t words = 1);
+
+  // Register a simulated thread; it starts when run() is called.
+  void spawn(Task<void> task);
+
+  // Run the event loop until every spawned task finishes and the queue
+  // drains. Returns the final simulated time. Aborts (assert) if the queue
+  // drains with unfinished tasks (deadlock in the simulated program).
+  Time run();
+
+  // Bounded run for tests; returns false on timeout.
+  bool run_until(Time limit);
+
+  std::size_t spawned() const noexcept { return roots_.size(); }
+  std::size_t finished() const noexcept { return finished_; }
+
+ private:
+  MachineConfig cfg_;
+  Engine engine_;
+  Trace trace_;
+  std::unique_ptr<Interconnect> net_;
+  std::unique_ptr<Directory> directory_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::vector<std::coroutine_handle<Task<void>::promise_type>> roots_;
+  std::size_t finished_ = 0;
+  Addr next_addr_ = 1;  // 0 is NULL
+  bool started_ = false;
+};
+
+// Barrier for simulated threads: all parties must arrive before any proceeds.
+class SimBarrier {
+ public:
+  SimBarrier(Engine& engine, int parties)
+      : engine_(engine), parties_(parties) {}
+
+  auto arrive_and_wait() {
+    struct Awaiter {
+      SimBarrier* barrier;
+      bool await_ready() const noexcept { return false; }
+      bool await_suspend(std::coroutine_handle<> h) {
+        SimBarrier& b = *barrier;
+        if (++b.arrived_ == b.parties_) {
+          b.arrived_ = 0;
+          auto waiting = std::move(b.waiting_);
+          b.waiting_.clear();
+          for (auto w : waiting) {
+            b.engine_.schedule(0, [w] { w.resume(); });
+          }
+          return false;  // last arrival continues immediately
+        }
+        b.waiting_.push_back(h);
+        return true;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Engine& engine_;
+  int parties_;
+  int arrived_ = 0;
+  std::vector<std::coroutine_handle<>> waiting_;
+};
+
+}  // namespace sbq::sim

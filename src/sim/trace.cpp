@@ -1,0 +1,22 @@
+#include "sim/trace.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace sbq::sim {
+
+void Trace::record(Time t, CoreId node, std::string what, Addr addr,
+                   std::int64_t detail) {
+  if (!enabled_) return;
+  events_.push_back(TraceEvent{t, node, std::move(what), addr, detail});
+}
+
+void Trace::print(std::ostream& os, Addr only_addr) const {
+  for (const auto& e : events_) {
+    if (only_addr != 0 && e.addr != only_addr) continue;
+    os << std::setw(8) << e.time << "  node " << std::setw(3) << e.node << "  "
+       << e.what << "  addr=" << e.addr << "  detail=" << e.detail << "\n";
+  }
+}
+
+}  // namespace sbq::sim

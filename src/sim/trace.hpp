@@ -1,0 +1,44 @@
+// Optional event trace: records protocol-level events for the coherence-
+// dynamics benchmark (Figure 2a/2b) and for debugging protocol behaviour.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/types.hpp"
+
+namespace sbq::sim {
+
+struct TraceEvent {
+  Time time;
+  CoreId node;        // acting node (core or directory)
+  std::string what;   // e.g. "send GetM", "abort(txn)", "commit"
+  Addr addr;
+  std::int64_t detail;  // event-specific (value, requester id, ...)
+};
+
+class Trace {
+ public:
+  explicit Trace(bool enabled = false) : enabled_(enabled) {}
+
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  bool enabled() const noexcept { return enabled_; }
+
+  void record(Time t, CoreId node, std::string what, Addr addr,
+              std::int64_t detail = 0);
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  void clear() noexcept { events_.clear(); }
+
+  // Pretty-print, optionally filtered to one address.
+  void print(std::ostream& os, Addr only_addr = 0) const;
+
+ private:
+  bool enabled_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace sbq::sim

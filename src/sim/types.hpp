@@ -1,0 +1,44 @@
+// Fundamental types and configuration for the coherence simulator.
+//
+// The simulator models the machine of §3.1 of the paper: a multi-core (and
+// optionally multi-socket) processor with private caches, a shared LLC with
+// an MSI directory, and a point-to-point interconnect that supports multiple
+// in-flight messages. Time is measured in cycles; one simulated word maps to
+// one cache line (the algorithms pad contended variables anyway).
+#pragma once
+
+#include <cstdint>
+
+namespace sbq::sim {
+
+using Addr = std::uint64_t;   // word address; one word per cache line
+using Value = std::uint64_t;  // 64-bit memory words (§2 "Atomic primitives")
+using Time = std::uint64_t;   // cycles
+using CoreId = int;
+
+inline constexpr Addr kNullAddr = 0;  // sim code treats address 0 as NULL
+
+// Machine-wide timing and topology parameters. Defaults approximate the
+// paper's Broadwell (§3.2 cites 15–30 cycles per message delay; QPI hops
+// are several times that).
+struct MachineConfig {
+  int cores = 44;
+  int sockets = 1;          // cores are split evenly across sockets
+  Time intra_latency = 40;  // message delay within a socket [cycles]
+  Time inter_latency = 160; // message delay across sockets [cycles]
+  Time dir_occupancy = 3;   // directory per-request processing time
+  Time hit_latency = 1;     // cache hit
+  Time rmw_latency = 8;     // read-modify-write execute cost once owned
+  bool uarch_fix = false;   // §3.4.1: stall Fwd-GetS of a committing txn
+  bool record_trace = false;
+};
+
+// TxCAS tuning (§4.1, §4.2). Cycle values assume 0.4 ns/cycle, so the
+// paper's 270 ns intra-transaction delay is ~675 cycles.
+struct TxCasConfig {
+  Time intra_txn_delay = 675;
+  Time post_abort_delay = 130;  // covers an intra-socket Inv/Ack round trip
+  int max_attempts = 64;  // then fall back to a plain CAS (wait-freedom)
+};
+
+}  // namespace sbq::sim

@@ -1,0 +1,228 @@
+// Tests for the SBQ scalable basket (Algorithms 8–9): wait-free array
+// basket with private insert cells, FAA-claimed extraction, and an empty
+// bit. Includes the linearizability-relevant properties from §5.2.1/§5.3.1:
+//   * insert may fail only non-deterministically; a successful insert's
+//     element is extracted exactly once,
+//   * extract returns null only when the basket is (indicated) empty,
+//   * once emptiness is indicated, later extracts must fail.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "basket/basket.hpp"
+#include "basket/sbq_basket.hpp"
+#include "common/barrier.hpp"
+
+namespace sbq {
+namespace {
+
+static_assert(Basket<SbqBasket<int>, int>);
+
+TEST(SbqBasket, InsertThenExtract) {
+  SbqBasket<int> b(4);
+  int x = 1;
+  EXPECT_TRUE(b.insert(&x, 0));
+  EXPECT_FALSE(b.empty());
+  EXPECT_EQ(b.extract(0), &x);
+}
+
+TEST(SbqBasket, SecondInsertOnSameCellFails) {
+  SbqBasket<int> b(4);
+  int x = 1, y = 2;
+  EXPECT_TRUE(b.insert(&x, 2));
+  EXPECT_FALSE(b.insert(&y, 2));  // cell already used by this inserter
+}
+
+TEST(SbqBasket, DistinctInsertersDistinctCells) {
+  SbqBasket<int> b(4);
+  int vals[4];
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(b.insert(&vals[i], i));
+  std::set<int*> extracted;
+  for (int i = 0; i < 4; ++i) {
+    int* e = b.extract(0);
+    ASSERT_NE(e, nullptr);
+    EXPECT_TRUE(extracted.insert(e).second);
+  }
+  EXPECT_EQ(b.extract(0), nullptr);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(extracted.count(&vals[i]), 1u);
+}
+
+TEST(SbqBasket, ExtractSkipsNeverFilledCells) {
+  SbqBasket<int> b(4);
+  int x = 1;
+  EXPECT_TRUE(b.insert(&x, 3));  // cells 0..2 stay INSERT
+  EXPECT_EQ(b.extract(0), &x);   // must skip the empty cells and find it
+  EXPECT_EQ(b.extract(0), nullptr);
+}
+
+TEST(SbqBasket, ExtractClosesUnfilledCells) {
+  SbqBasket<int> b(2);
+  EXPECT_EQ(b.extract(0), nullptr);  // sweeps both cells, closing them
+  int x = 1;
+  EXPECT_FALSE(b.insert(&x, 0));  // cell was closed by the extractor
+  EXPECT_FALSE(b.insert(&x, 1));
+}
+
+TEST(SbqBasket, EmptyBitSetAfterLastIndexClaimed) {
+  SbqBasket<int> b(2);
+  int x = 1, y = 2;
+  EXPECT_TRUE(b.insert(&x, 0));
+  EXPECT_TRUE(b.insert(&y, 1));
+  EXPECT_FALSE(b.empty());
+  EXPECT_NE(b.extract(0), nullptr);
+  EXPECT_NE(b.extract(0), nullptr);  // claims the last index -> sets empty
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.extract(0), nullptr);
+}
+
+TEST(SbqBasket, EmptyIndicationIsStable) {
+  // §5.3.2 linearizability hinge: once an extract returned null (or empty()
+  // returned true), every later extract must return null, even if an insert
+  // CAS lands afterwards (it must fail or its element must be unreachable —
+  // in this design, late inserts fail because their cells are closed).
+  SbqBasket<int> b(3);
+  int x = 1;
+  EXPECT_TRUE(b.insert(&x, 1));
+  EXPECT_EQ(b.extract(0), &x);
+  EXPECT_EQ(b.extract(0), nullptr);  // emptiness indicated
+  int y = 2;
+  EXPECT_FALSE(b.insert(&y, 2));     // closed
+  EXPECT_EQ(b.extract(0), nullptr);  // stable
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(SbqBasket, LiveInsertersBoundsScan) {
+  // capacity 8, but only 3 live inserters: extract must indicate emptiness
+  // after sweeping 3 cells, not 8.
+  SbqBasket<int> b(8, 3);
+  int x = 1;
+  EXPECT_TRUE(b.insert(&x, 2));
+  EXPECT_EQ(b.extract(0), &x);
+  EXPECT_EQ(b.extract(0), nullptr);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(SbqBasket, ResetRestoresSingleInsertion) {
+  SbqBasket<int> b(4);
+  int x = 1;
+  EXPECT_TRUE(b.insert(&x, 1));
+  b.reset(1);
+  EXPECT_FALSE(b.empty());  // empty() may be a false negative; must not be true
+  int y = 2;
+  EXPECT_TRUE(b.insert(&y, 1));  // cell reopened
+  EXPECT_EQ(b.extract(0), &y);
+}
+
+TEST(SbqBasket, ConcurrentInsertExtractNoLossNoDup) {
+  constexpr int kInserters = 8;
+  constexpr int kExtractors = 4;
+  constexpr int kRounds = 300;
+
+  for (int round = 0; round < kRounds; ++round) {
+    SbqBasket<int> b(kInserters);
+    std::vector<int> values(kInserters);
+    SpinBarrier barrier(kInserters + kExtractors);
+    std::atomic<int> inserted_count{0};
+    std::vector<int*> extracted[kExtractors];
+    std::atomic<bool> inserted_ok[kInserters];
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kInserters; ++t) {
+      threads.emplace_back([&, t] {
+        barrier.arrive_and_wait();
+        const bool ok = b.insert(&values[t], t);
+        inserted_ok[t].store(ok);
+        if (ok) inserted_count.fetch_add(1);
+      });
+    }
+    for (int t = 0; t < kExtractors; ++t) {
+      threads.emplace_back([&, t] {
+        barrier.arrive_and_wait();
+        while (int* e = b.extract(t)) extracted[t].push_back(e);
+      });
+    }
+    for (auto& th : threads) th.join();
+
+    // Drain any remainder single-threaded.
+    std::vector<int*> rest;
+    while (int* e = b.extract(0)) rest.push_back(e);
+
+    std::vector<int*> all(rest);
+    for (int t = 0; t < kExtractors; ++t) {
+      all.insert(all.end(), extracted[t].begin(), extracted[t].end());
+    }
+    std::sort(all.begin(), all.end());
+    EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end())
+        << "duplicate extraction";
+    // Every successfully inserted element is extracted exactly once.
+    EXPECT_EQ(static_cast<int>(all.size()), inserted_count.load());
+    for (int t = 0; t < kInserters; ++t) {
+      const bool found = std::binary_search(all.begin(), all.end(), &values[t]);
+      EXPECT_EQ(found, inserted_ok[t].load());
+    }
+  }
+}
+
+TEST(SbqBasket, ConcurrentExtractorsClaimDisjointElements) {
+  constexpr int kInserters = 16;
+  SbqBasket<int> b(kInserters);
+  std::vector<int> values(kInserters);
+  for (int i = 0; i < kInserters; ++i) ASSERT_TRUE(b.insert(&values[i], i));
+
+  constexpr int kExtractors = 8;
+  SpinBarrier barrier(kExtractors);
+  std::vector<std::vector<int*>> got(kExtractors);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kExtractors; ++t) {
+    threads.emplace_back([&, t] {
+      barrier.arrive_and_wait();
+      while (int* e = b.extract(t)) got[t].push_back(e);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::vector<int*> all;
+  for (auto& v : got) all.insert(all.end(), v.begin(), v.end());
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kInserters));
+  std::sort(all.begin(), all.end());
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end());
+  EXPECT_TRUE(b.empty());
+}
+
+// Parameterized sweep over basket sizes: invariants hold for any capacity.
+class SbqBasketSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SbqBasketSizeTest, FillDrainExactly) {
+  const int n = GetParam();
+  SbqBasket<int> b(static_cast<std::size_t>(n));
+  std::vector<int> values(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) EXPECT_TRUE(b.insert(&values[static_cast<std::size_t>(i)], i));
+  int extracted = 0;
+  while (b.extract(0) != nullptr) ++extracted;
+  EXPECT_EQ(extracted, n);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST_P(SbqBasketSizeTest, PartialFillDrainExactly) {
+  const int n = GetParam();
+  SbqBasket<int> b(static_cast<std::size_t>(n));
+  std::vector<int> values(static_cast<std::size_t>(n));
+  int inserted = 0;
+  for (int i = 0; i < n; i += 2) {  // every other cell
+    EXPECT_TRUE(b.insert(&values[static_cast<std::size_t>(i)], i));
+    ++inserted;
+  }
+  int extracted = 0;
+  while (b.extract(0) != nullptr) ++extracted;
+  EXPECT_EQ(extracted, inserted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SbqBasketSizeTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 44, 128));
+
+}  // namespace
+}  // namespace sbq

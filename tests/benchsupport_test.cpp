@@ -1,0 +1,119 @@
+// Tests for the benchmark harness support: table/CSV formatting, option
+// parsing, sweeps, and cycle calibration.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "benchsupport/sweep.hpp"
+#include "benchsupport/table.hpp"
+
+namespace sbq {
+namespace {
+
+TEST(Table, AlignedOutput) {
+  Table t({"a", "long_column", "b"});
+  t.add_row({std::string("1"), "2", "3"});
+  t.add_row({std::string("100"), "x", "yyyy"});
+  std::ostringstream os;
+  t.print(os, /*csv=*/false);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("long_column"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("yyyy"), std::string::npos);
+  // Header + separator + 2 data rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.add_row({1.5, 2.25}, /*precision=*/2);
+  std::ostringstream os;
+  t.print(os, /*csv=*/true);
+  EXPECT_EQ(os.str(), "x,y\n1.50,2.25\n");
+}
+
+TEST(Table, NumericPrecision) {
+  Table t({"v"});
+  t.add_row({3.14159}, 4);
+  std::ostringstream os;
+  t.print(os, true);
+  EXPECT_NE(os.str().find("3.1416"), std::string::npos);
+}
+
+TEST(Table, RowSizeMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only one")}), std::invalid_argument);
+}
+
+TEST(Table, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({std::string("1")});
+  t.add_row({std::string("2")});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(BenchOptions, Defaults) {
+  char prog[] = "bench";
+  char* argv[] = {prog};
+  const BenchOptions o = BenchOptions::parse(1, argv);
+  EXPECT_FALSE(o.csv);
+  EXPECT_EQ(o.seed, 42ull);
+  EXPECT_TRUE(o.threads.empty());
+  EXPECT_EQ(o.ops, 0ull);
+  EXPECT_EQ(o.repeats, 0);
+}
+
+TEST(BenchOptions, ParsesAllFlags) {
+  char prog[] = "bench";
+  char csv[] = "--csv";
+  char seed[] = "--seed", seedv[] = "7";
+  char ops[] = "--ops", opsv[] = "1000";
+  char rep[] = "--repeats", repv[] = "5";
+  char thr[] = "--threads", thrv[] = "1,4,44";
+  char* argv[] = {prog, csv, seed, seedv, ops, opsv, rep, repv, thr, thrv};
+  const BenchOptions o = BenchOptions::parse(10, argv);
+  EXPECT_TRUE(o.csv);
+  EXPECT_EQ(o.seed, 7ull);
+  EXPECT_EQ(o.ops, 1000ull);
+  EXPECT_EQ(o.repeats, 5);
+  EXPECT_EQ(o.threads, (std::vector<int>{1, 4, 44}));
+}
+
+TEST(BenchOptions, UnknownFlagThrows) {
+  char prog[] = "bench";
+  char bad[] = "--bogus";
+  char* argv[] = {prog, bad};
+  EXPECT_THROW(BenchOptions::parse(2, argv), std::invalid_argument);
+}
+
+TEST(BenchOptions, MissingValueThrows) {
+  char prog[] = "bench";
+  char seed[] = "--seed";
+  char* argv[] = {prog, seed};
+  EXPECT_THROW(BenchOptions::parse(2, argv), std::invalid_argument);
+}
+
+TEST(Sweeps, SingleSocketCoversPaperRange) {
+  const auto sweep = default_single_socket_sweep();
+  EXPECT_EQ(sweep.front(), 1);
+  EXPECT_EQ(sweep.back(), 44);  // the Broadwell's hyperthread count
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GT(sweep[i], sweep[i - 1]) << "sweep must be increasing";
+  }
+}
+
+TEST(Sweeps, DualSocketEvenTotals) {
+  const auto sweep = default_dual_socket_sweep();
+  EXPECT_EQ(sweep.back(), 88);
+  for (int t : sweep) EXPECT_EQ(t % 2, 0) << "mixed sweep splits evenly";
+}
+
+TEST(Sweeps, CycleCalibration) {
+  // 2.5 GHz Broadwell all-core turbo: 0.4 ns per cycle.
+  EXPECT_DOUBLE_EQ(ns_per_cycle(), 0.4);
+}
+
+}  // namespace
+}  // namespace sbq

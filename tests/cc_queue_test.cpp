@@ -1,0 +1,57 @@
+// Tests for the CC-Synch combining queue.
+#include <gtest/gtest.h>
+
+#include "queues/cc_queue.hpp"
+#include "queues/queue_traits.hpp"
+#include "queue_test_util.hpp"
+
+namespace sbq {
+namespace {
+
+static_assert(ConcurrentQueue<CcQueue<int>, int>);
+
+TEST(CcQueue, EmptyDequeueReturnsNull) {
+  CcQueue<int> q(2);
+  EXPECT_EQ(q.dequeue(0), nullptr);
+}
+
+TEST(CcQueue, FifoSingleThread) {
+  CcQueue<int> q(1);
+  int vals[30];
+  for (int i = 0; i < 30; ++i) q.enqueue(&vals[i], 0);
+  for (int i = 0; i < 30; ++i) EXPECT_EQ(q.dequeue(0), &vals[i]);
+  EXPECT_EQ(q.dequeue(0), nullptr);
+}
+
+TEST(CcQueue, NodeRecyclingKeepsFifo) {
+  CcQueue<int> q(1);
+  int vals[8];
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 8; ++i) q.enqueue(&vals[i], 0);
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(q.dequeue(0), &vals[i]);
+  }
+  EXPECT_EQ(q.dequeue(0), nullptr);
+}
+
+TEST(CcQueue, CombinerServesOthers) {
+  // Two threads hammer the queue; the combining protocol must route all
+  // operations through a single combiner at a time without losing any.
+  CcQueue<testutil::Element> q(4);
+  std::vector<testutil::Element> storage;
+  auto result = testutil::run_mpmc(q, 2, 2, 8000, storage, true);
+  testutil::verify_mpmc(result, 2, 8000);
+}
+
+TEST(CcQueue, MpmcNoLossNoDupFifo) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr std::uint64_t kPerProducer = 4000;
+  CcQueue<testutil::Element> q(kProducers + kConsumers);
+  std::vector<testutil::Element> storage;
+  auto result = testutil::run_mpmc(q, kProducers, kConsumers, kPerProducer,
+                                   storage, /*single_id_space=*/true);
+  testutil::verify_mpmc(result, kProducers, kPerProducer);
+}
+
+}  // namespace
+}  // namespace sbq

@@ -1,0 +1,135 @@
+// Tests for the common infrastructure: padding, backoff, RNG, barrier,
+// topology discovery.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/backoff.hpp"
+#include "common/barrier.hpp"
+#include "common/cacheline.hpp"
+#include "common/padded.hpp"
+#include "common/rng.hpp"
+#include "common/topology.hpp"
+
+namespace sbq {
+namespace {
+
+TEST(Padded, OccupiesWholeCacheLines) {
+  EXPECT_EQ(sizeof(Padded<char>) % kCacheLineSize, 0u);
+  EXPECT_EQ(alignof(Padded<char>), kCacheLineSize);
+  // An array of padded slots puts each slot on its own line.
+  Padded<int> arr[4];
+  for (int i = 0; i < 3; ++i) {
+    const auto a = reinterpret_cast<std::uintptr_t>(&arr[i]);
+    const auto b = reinterpret_cast<std::uintptr_t>(&arr[i + 1]);
+    EXPECT_GE(b - a, kCacheLineSize);
+  }
+}
+
+TEST(Padded, DereferenceOperators) {
+  Padded<int> p(7);
+  EXPECT_EQ(*p, 7);
+  *p = 9;
+  EXPECT_EQ(p.value, 9);
+}
+
+TEST(Backoff, GrowsAndSaturates) {
+  // White-box via timing-free behaviour: pause() must terminate and the
+  // object must be reusable after reset().
+  Backoff b(1, 8);
+  for (int i = 0; i < 10; ++i) b.pause();
+  b.reset();
+  for (int i = 0; i < 10; ++i) b.pause();
+  SUCCEED();
+}
+
+TEST(SplitMix64, DeterministicAndDistinct) {
+  SplitMix64 a(123), b(123), c(124);
+  const std::uint64_t a1 = a.next();
+  EXPECT_EQ(a1, b.next());
+  EXPECT_NE(a1, c.next());
+}
+
+TEST(Xoshiro256, ReproducibleSequences) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, NextBelowInRange) {
+  Xoshiro256 r(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256, RoughUniformity) {
+  Xoshiro256 r(31337);
+  int buckets[10] = {};
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++buckets[r.next_below(10)];
+  for (int count : buckets) {
+    EXPECT_GT(count, kSamples / 10 * 0.9);
+    EXPECT_LT(count, kSamples / 10 * 1.1);
+  }
+}
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  constexpr int kThreads = 4;
+  constexpr int kPhases = 50;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> phase_counter{0};
+  std::atomic<bool> violation{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int p = 0; p < kPhases; ++p) {
+        phase_counter.fetch_add(1, std::memory_order_acq_rel);
+        barrier.arrive_and_wait();
+        // After the barrier, every thread of this phase has incremented.
+        if (phase_counter.load(std::memory_order_acquire) < (p + 1) * kThreads) {
+          violation.store(true, std::memory_order_relaxed);
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(phase_counter.load(), kThreads * kPhases);
+}
+
+TEST(Topology, DiscoversAtLeastOneCpu) {
+  const Topology topo = Topology::discover();
+  EXPECT_GE(topo.cpu_count(), 1u);
+  EXPECT_GE(topo.socket_count(), 1u);
+  // Every CPU appears in its socket's list exactly once.
+  std::set<int> seen;
+  for (std::size_t s = 0; s < topo.socket_count() + 2; ++s) {
+    for (int cpu : topo.socket_cpus(static_cast<int>(s))) {
+      EXPECT_TRUE(seen.insert(cpu).second) << "cpu listed twice: " << cpu;
+    }
+  }
+  EXPECT_EQ(seen.size(), topo.cpu_count());
+}
+
+TEST(Topology, PinCurrentThreadToCpu0) {
+  EXPECT_TRUE(pin_current_thread(0));
+}
+
+}  // namespace
+}  // namespace sbq

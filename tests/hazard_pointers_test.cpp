@@ -1,0 +1,119 @@
+// Tests for the hazard-pointer reclamation scheme.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "reclaim/hazard_pointers.hpp"
+
+namespace sbq {
+namespace {
+
+struct Node {
+  int payload = 0;
+  static inline std::atomic<int> freed{0};
+};
+
+struct CountingDeleter {
+  void operator()(Node* n) const {
+    Node::freed.fetch_add(1);
+    delete n;
+  }
+};
+
+using Hp = HazardPointers<Node, CountingDeleter>;
+
+TEST(HazardPointers, RetiredNodesEventuallyFreed) {
+  Node::freed.store(0);
+  {
+    Hp hp(2);
+    for (int i = 0; i < 100; ++i) hp.retire(new Node, 0);
+    // No hazards are set, so scans triggered by retire() free everything
+    // past the threshold; the destructor frees the rest.
+  }
+  EXPECT_EQ(Node::freed.load(), 100);
+}
+
+TEST(HazardPointers, HazardBlocksFree) {
+  Node::freed.store(0);
+  {
+    Hp hp(2);
+    Node* protected_node = new Node;
+    std::atomic<Node*> src{protected_node};
+    EXPECT_EQ(hp.protect(src, 0, 0), protected_node);
+    hp.retire(protected_node, 1);
+    for (int i = 0; i < 200; ++i) hp.retire(new Node, 1);
+    hp.flush(1);
+    EXPECT_EQ(Node::freed.load(), 200);  // all but the protected node
+    hp.clear(0);
+  }
+  EXPECT_EQ(Node::freed.load(), 201);
+}
+
+TEST(HazardPointers, ProtectValidates) {
+  Hp hp(1);
+  Node* a = new Node;
+  Node* b = new Node;
+  std::atomic<Node*> src{a};
+  std::thread flipper([&] {
+    for (int i = 0; i < 20000; ++i) src.store(i % 2 ? a : b);
+  });
+  for (int i = 0; i < 2000; ++i) {
+    Node* p = hp.protect(src, 0, 0);
+    EXPECT_TRUE(p == a || p == b);
+  }
+  flipper.join();
+  hp.clear(0);
+  hp.retire(a, 0);
+  hp.retire(b, 0);
+}
+
+TEST(HazardPointers, PerThreadSlotsIndependent) {
+  Node::freed.store(0);
+  {
+    Hp hp(3);
+    Node* n0 = new Node;
+    Node* n1 = new Node;
+    std::atomic<Node*> s0{n0}, s1{n1};
+    hp.protect(s0, 0, 0);
+    hp.protect(s1, 1, 1);
+    hp.retire(n0, 2);
+    hp.retire(n1, 2);
+    for (int i = 0; i < 100; ++i) hp.retire(new Node, 2);
+    hp.flush(2);
+    EXPECT_EQ(Node::freed.load(), 100);
+    hp.clear(0);
+    for (int i = 0; i < 100; ++i) hp.retire(new Node, 2);
+    hp.flush(2);
+    EXPECT_EQ(Node::freed.load(), 201);  // n0 now freed, n1 still protected
+    hp.clear(1);
+  }
+  EXPECT_EQ(Node::freed.load(), 202);
+}
+
+TEST(HazardPointers, ConcurrentRetireStress) {
+  Node::freed.store(0);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  {
+    Hp hp(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          Node* n = new Node;
+          std::atomic<Node*> src{n};
+          hp.protect(src, t, 0);   // briefly protect
+          hp.clear(t);
+          hp.retire(n, t);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  EXPECT_EQ(Node::freed.load(), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace sbq

@@ -1,0 +1,103 @@
+// Tests for the aspect-oriented violation checker itself (the §5.3.2 proof
+// framework turned into a runtime checker): each violation class must be
+// detected on a minimal crafted history and absent on a correct one.
+#include <gtest/gtest.h>
+
+#include "history_checker.hpp"
+
+namespace sbq::histcheck {
+namespace {
+
+bool has(const std::vector<Violation>& vs, const std::string& kind) {
+  for (const auto& v : vs) {
+    if (v.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(HistoryChecker, CleanSequentialHistoryPasses) {
+  History h;
+  h.record_enq(0, 1, 100);
+  h.record_enq(2, 3, 101);
+  h.record_deq(4, 5, 100);
+  h.record_deq(6, 7, 101);
+  h.record_deq(8, 9, 0);  // genuinely empty
+  EXPECT_TRUE(h.check().empty());
+}
+
+TEST(HistoryChecker, DetectsVFresh) {
+  History h;
+  h.record_deq(0, 1, 999);  // never enqueued
+  EXPECT_TRUE(has(h.check(), "VFresh"));
+}
+
+TEST(HistoryChecker, DetectsVRepeat) {
+  History h;
+  h.record_enq(0, 1, 7);
+  h.record_deq(2, 3, 7);
+  h.record_deq(4, 5, 7);
+  EXPECT_TRUE(has(h.check(), "VRepeat"));
+}
+
+TEST(HistoryChecker, DetectsVOrdWrongOrder) {
+  History h;
+  h.record_enq(0, 1, 1);   // enq(1) completes...
+  h.record_enq(2, 3, 2);   // ...before enq(2) starts
+  h.record_deq(4, 5, 2);   // 2 dequeued first...
+  h.record_deq(6, 7, 1);   // ...and deq(1) starts only after deq(2) ended
+  EXPECT_TRUE(has(h.check(), "VOrd"));
+}
+
+TEST(HistoryChecker, ConcurrentEnqueuesAnyOrderOk) {
+  History h;
+  h.record_enq(0, 10, 1);  // overlapping enqueues: either order linearizes
+  h.record_enq(0, 10, 2);
+  h.record_deq(11, 12, 2);
+  h.record_deq(13, 14, 1);
+  EXPECT_TRUE(h.check().empty());
+}
+
+TEST(HistoryChecker, ConcurrentDequeuesAnyOrderOk) {
+  History h;
+  h.record_enq(0, 1, 1);
+  h.record_enq(2, 3, 2);
+  h.record_deq(4, 9, 2);  // overlapping dequeues may resolve either way
+  h.record_deq(4, 9, 1);
+  EXPECT_TRUE(h.check().empty());
+}
+
+TEST(HistoryChecker, DetectsVWit) {
+  History h;
+  h.record_enq(0, 1, 5);   // enqueued, completed
+  h.record_deq(2, 3, 0);   // NULL although 5 is in the queue throughout
+  h.record_deq(4, 5, 5);   // removed only later
+  EXPECT_TRUE(has(h.check(), "VWit"));
+}
+
+TEST(HistoryChecker, NullOkWhenElementRemovedConcurrently) {
+  History h;
+  h.record_enq(0, 1, 5);
+  h.record_deq(2, 8, 5);  // removal overlaps the null dequeue below
+  h.record_deq(3, 7, 0);  // may linearize after the removal: OK
+  EXPECT_TRUE(h.check().empty());
+}
+
+TEST(HistoryChecker, NullOkBeforeAnyEnqueue) {
+  History h;
+  h.record_deq(0, 1, 0);
+  h.record_enq(2, 3, 5);
+  h.record_deq(4, 5, 5);
+  EXPECT_TRUE(h.check().empty());
+}
+
+TEST(HistoryChecker, MergeCombinesThreadHistories) {
+  History a, b;
+  a.record_enq(0, 1, 1);
+  b.record_deq(2, 3, 1);
+  a.merge(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_TRUE(a.check().empty());
+}
+
+}  // namespace
+}  // namespace sbq::histcheck

@@ -1,0 +1,117 @@
+// Shared helpers for queue correctness tests: element tagging, multi-
+// producer/multi-consumer harness with no-loss/no-duplication/FIFO-per-
+// producer verification.
+//
+// FIFO-per-producer is the classic testable consequence of queue
+// linearizability: if one producer enqueues a then b (sequentially), no
+// consumer may observe b before a *when the two dequeues are themselves
+// ordered*. We verify the strongest cheaply-checkable form: for each
+// producer, the subsequence of its elements in each single consumer's
+// output is increasing, and across all consumers each element appears
+// exactly once.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.hpp"
+
+namespace sbq::testutil {
+
+struct Element {
+  int producer;
+  std::uint64_t seq;
+};
+
+struct MpmcResult {
+  std::vector<std::vector<Element*>> per_consumer;  // dequeue order per consumer
+  std::uint64_t total_dequeued = 0;
+};
+
+// Runs `producers` enqueuer threads each pushing `per_producer` tagged
+// elements and `consumers` dequeuer threads that pop until all elements are
+// accounted for. Queue must expose enqueue(T*, id) / dequeue(id) with
+// separate id spaces (SBQ convention). For queues with a single id space,
+// pass single_id_space = true: consumer ids then follow producer ids.
+template <typename Queue>
+MpmcResult run_mpmc(Queue& queue, int producers, int consumers,
+                    std::uint64_t per_producer,
+                    std::vector<Element>& storage,
+                    bool single_id_space = false) {
+  storage.resize(static_cast<std::size_t>(producers) * per_producer);
+  std::atomic<std::uint64_t> remaining{static_cast<std::uint64_t>(producers) *
+                                       per_producer};
+  SpinBarrier barrier(static_cast<std::size_t>(producers + consumers));
+  MpmcResult result;
+  result.per_consumer.resize(static_cast<std::size_t>(consumers));
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      barrier.arrive_and_wait();
+      for (std::uint64_t i = 0; i < per_producer; ++i) {
+        Element* e = &storage[static_cast<std::size_t>(p) * per_producer + i];
+        e->producer = p;
+        e->seq = i;
+        queue.enqueue(e, p);
+      }
+    });
+  }
+  for (int c = 0; c < consumers; ++c) {
+    threads.emplace_back([&, c] {
+      const int id = single_id_space ? producers + c : c;
+      barrier.arrive_and_wait();
+      auto& got = result.per_consumer[static_cast<std::size_t>(c)];
+      while (remaining.load(std::memory_order_acquire) > 0) {
+        Element* e = static_cast<Element*>(queue.dequeue(id));
+        if (e == nullptr) continue;  // transiently empty
+        got.push_back(e);
+        remaining.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto& v : result.per_consumer) result.total_dequeued += v.size();
+  return result;
+}
+
+// Verifies: exactly-once delivery of every element, and per-producer FIFO
+// within each consumer's local dequeue order.
+inline void verify_mpmc(const MpmcResult& result, int producers,
+                        std::uint64_t per_producer) {
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(producers) * per_producer;
+  ASSERT_EQ(result.total_dequeued, expected);
+
+  std::map<std::pair<int, std::uint64_t>, int> seen;
+  for (const auto& consumer : result.per_consumer) {
+    std::vector<std::uint64_t> last_seq(static_cast<std::size_t>(producers));
+    std::vector<bool> seen_any(static_cast<std::size_t>(producers), false);
+    for (const Element* e : consumer) {
+      ASSERT_GE(e->producer, 0);
+      ASSERT_LT(e->producer, producers);
+      ASSERT_LT(e->seq, per_producer);
+      ++seen[{e->producer, e->seq}];
+      auto idx = static_cast<std::size_t>(e->producer);
+      if (seen_any[idx]) {
+        EXPECT_GT(e->seq, last_seq[idx])
+            << "per-producer FIFO violated for producer " << e->producer;
+      }
+      seen_any[idx] = true;
+      last_seq[idx] = e->seq;
+    }
+  }
+  EXPECT_EQ(seen.size(), expected) << "missing elements";
+  for (const auto& [key, count] : seen) {
+    EXPECT_EQ(count, 1) << "element duplicated: producer " << key.first
+                        << " seq " << key.second;
+  }
+}
+
+}  // namespace sbq::testutil

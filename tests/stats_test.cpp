@@ -1,0 +1,103 @@
+// Tests for the summary-statistics helpers used by the benchmark harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace sbq {
+namespace {
+
+TEST(Summary, MeanAndStddev) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample stddev of this classic set is sqrt(32/7).
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, MinMax) {
+  Summary s;
+  s.add(3.5);
+  s.add(-1.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(Summary, EmptyIsSafe) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+}
+
+TEST(Summary, PercentilesNearestRank) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1), 1.0);
+  // Out-of-range p is clamped.
+  EXPECT_DOUBLE_EQ(s.percentile(-5), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(250), 100.0);
+}
+
+TEST(Summary, AddAfterSortedQueriesStillCorrect) {
+  Summary s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);  // forces a sort
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Summary, ClearResets) {
+  Summary s;
+  s.add(1.0);
+  s.clear();
+  EXPECT_EQ(s.count(), 0u);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(OnlineStats, MatchesBatchComputation) {
+  OnlineStats o;
+  Summary s;
+  const double values[] = {1.5, 2.5, 2.5, 8.0, -3.0, 0.0, 4.25};
+  for (double v : values) {
+    o.add(v);
+    s.add(v);
+  }
+  EXPECT_EQ(o.count(), s.count());
+  EXPECT_NEAR(o.mean(), s.mean(), 1e-12);
+  EXPECT_NEAR(o.stddev(), s.stddev(), 1e-12);
+}
+
+TEST(OnlineStats, EmptyAndSingle) {
+  OnlineStats o;
+  EXPECT_EQ(o.count(), 0u);
+  EXPECT_DOUBLE_EQ(o.variance(), 0.0);
+  o.add(3.0);
+  EXPECT_DOUBLE_EQ(o.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(o.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace sbq

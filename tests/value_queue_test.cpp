@@ -1,0 +1,131 @@
+// Tests for the by-value queue adapter: value semantics, move-only types,
+// arena recycling across threads, and MPMC integrity.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.hpp"
+#include "queues/value_queue.hpp"
+
+namespace sbq {
+namespace {
+
+TEST(ValueQueue, FifoWithCopies) {
+  ValueQueue<std::string> q({.max_enqueuers = 1, .max_dequeuers = 1});
+  q.enqueue(std::string("alpha"), 0);
+  q.enqueue(std::string("beta"), 0);
+  auto a = q.dequeue(0);
+  auto b = q.dequeue(0);
+  auto c = q.dequeue(0);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, "alpha");
+  EXPECT_EQ(*b, "beta");
+  EXPECT_FALSE(c.has_value());
+}
+
+TEST(ValueQueue, MoveOnlyElements) {
+  ValueQueue<std::unique_ptr<int>> q({.max_enqueuers = 1, .max_dequeuers = 1});
+  q.enqueue(std::make_unique<int>(7), 0);
+  auto out = q.dequeue(0);
+  ASSERT_TRUE(out.has_value());
+  ASSERT_NE(*out, nullptr);
+  EXPECT_EQ(**out, 7);
+}
+
+TEST(ValueQueue, RecyclesStorage) {
+  // Long alternating run must not grow memory: boxes are recycled through
+  // the arena freelists. Smoke-checked by running a lot of ops.
+  ValueQueue<int> q({.max_enqueuers = 1, .max_dequeuers = 1});
+  for (int i = 0; i < 50000; ++i) {
+    q.enqueue(i, 0);
+    auto v = q.dequeue(0);
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, i);
+  }
+}
+
+TEST(ValueQueue, CrossThreadDequeueReturnsToOwnerArena) {
+  ValueQueue<int> q({.max_enqueuers = 1, .max_dequeuers = 1});
+  constexpr int kOps = 20000;
+  std::thread producer([&] {
+    for (int i = 0; i < kOps; ++i) q.enqueue(i, 0);
+  });
+  int got = 0;
+  long sum = 0;
+  while (got < kOps) {
+    if (auto v = q.dequeue(0)) {
+      sum += *v;
+      ++got;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(sum, static_cast<long>(kOps) * (kOps - 1) / 2);
+}
+
+TEST(ValueQueue, MpmcExactlyOnce) {
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr int kPer = 5000;
+  ValueQueue<long> q({.max_enqueuers = kProducers, .max_dequeuers = kConsumers});
+  SpinBarrier barrier(kProducers + kConsumers);
+  std::atomic<long> remaining{static_cast<long>(kProducers) * kPer};
+  std::atomic<long> sum{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kPer; ++i) {
+        q.enqueue(static_cast<long>(p) * kPer + i, p);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&, c] {
+      barrier.arrive_and_wait();
+      while (remaining.load(std::memory_order_acquire) > 0) {
+        if (auto v = q.dequeue(c)) {
+          sum.fetch_add(*v, std::memory_order_relaxed);
+          remaining.fetch_sub(1, std::memory_order_acq_rel);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const long n = static_cast<long>(kProducers) * kPer;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+struct CountedPayload {
+  static inline std::atomic<int> live{0};
+  int v = 0;
+  CountedPayload() { live.fetch_add(1); }
+  explicit CountedPayload(int x) : v(x) { live.fetch_add(1); }
+  CountedPayload(const CountedPayload& o) : v(o.v) { live.fetch_add(1); }
+  CountedPayload(CountedPayload&& o) noexcept : v(o.v) { live.fetch_add(1); }
+  ~CountedPayload() { live.fetch_sub(1); }
+};
+
+TEST(ValueQueue, DestroysDequeuedPayloads) {
+  CountedPayload::live.store(0);
+  {
+    ValueQueue<CountedPayload> q({.max_enqueuers = 1, .max_dequeuers = 1});
+    for (int i = 0; i < 100; ++i) q.enqueue(CountedPayload(i), 0);
+    for (int i = 0; i < 100; ++i) {
+      auto v = q.dequeue(0);
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(v->v, i);
+    }
+    EXPECT_EQ(CountedPayload::live.load(), 0);
+  }
+  EXPECT_EQ(CountedPayload::live.load(), 0);
+}
+
+}  // namespace
+}  // namespace sbq
