@@ -21,16 +21,19 @@ int main(int argc, char** argv) {
   std::cout << "# 5.3.4 ablation: SBQ-HTM enqueue latency vs basket size B "
                "and enqueuers T (" << ops << " ops/thread)\n";
   Table table({"B", "T=2", "T=8", "T=22", "T=44"});
+  if (!opts.csv) table.stream_to(std::cout);
   const std::vector<int> thread_counts{2, 8, 22, 44};
-  for (int b : {2, 8, 22, 44, 88}) {
-    std::vector<std::string> row{std::to_string(b)};
-    for (int t : thread_counts) {
-      if (b < t) {
-        row.push_back("-");
-        continue;
-      }
-      Summary lat;
-      for (int r = 0; r < repeats; ++r) {
+  const std::vector<int> basket_sizes{2, 8, 22, 44, 88};
+  const std::size_t nrep = static_cast<std::size_t>(repeats);
+  const std::size_t cells_per_row = thread_counts.size() * nrep;
+  std::vector<double> lat_ns(basket_sizes.size() * cells_per_row, -1.0);
+  run_sweep_cells(
+      basket_sizes.size(), cells_per_row, opts.effective_jobs(),
+      [&](std::size_t i) {
+        const int b = basket_sizes[i / cells_per_row];
+        const int t = thread_counts[(i % cells_per_row) / nrep];
+        const int r = static_cast<int>(i % nrep);
+        if (b < t) return;  // infeasible cell: B must cover the enqueuers
         sim::MachineConfig mcfg;
         mcfg.cores = t;
         WorkloadSpec spec;
@@ -39,15 +42,26 @@ int main(int argc, char** argv) {
         spec.ops_per_thread = ops;
         spec.basket_capacity = b;
         spec.seed = opts.seed + static_cast<std::uint64_t>(r) * 7919;
-        lat.add(run_queue_workload("SBQ-HTM", mcfg, spec)
-                    .enq_latency_ns(ns_per_cycle()));
-      }
-      char buf[32];
-      std::snprintf(buf, sizeof buf, "%.1f", lat.mean());
-      row.push_back(buf);
-    }
-    table.add_row(row);
-  }
+        lat_ns[i] = run_queue_workload(QueueKind::kSbqHtm, mcfg, spec)
+                        .enq_latency_ns(ns_per_cycle());
+      },
+      [&](std::size_t row) {
+        std::vector<std::string> out{std::to_string(basket_sizes[row])};
+        for (std::size_t ti = 0; ti < thread_counts.size(); ++ti) {
+          if (basket_sizes[row] < thread_counts[ti]) {
+            out.push_back("-");
+            continue;
+          }
+          Summary lat;
+          for (std::size_t r = 0; r < nrep; ++r) {
+            lat.add(lat_ns[row * cells_per_row + ti * nrep + r]);
+          }
+          char buf[32];
+          std::snprintf(buf, sizeof buf, "%.1f", lat.mean());
+          out.push_back(buf);
+        }
+        table.add_row(out);
+      });
   table.print(std::cout, opts.csv);
   std::cout << "\n(For fixed B, latency improves as T grows — O(B/T) "
                "amortized init; the B=T\n diagonal stays flat.)\n";

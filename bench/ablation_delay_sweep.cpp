@@ -8,7 +8,9 @@
 // happened before the write issued, which is what the delay buys).
 #include <iostream>
 #include <memory>
+#include <vector>
 
+#include "benchsupport/parallel_sweep.hpp"
 #include "benchsupport/sweep.hpp"
 #include "benchsupport/table.hpp"
 #include "common/rng.hpp"
@@ -87,30 +89,39 @@ int main(int argc, char** argv) {
   std::cout << "# 4.1 ablation: TxCAS intra-transaction delay sweep ("
             << ops << " ops/thread)\n"
             << "# paper: ~270 ns (675 cycles) was optimal on Broadwell\n";
-  Table table({"delay_cycles", "delay_ns", "metric", "T=4", "T=16", "T=32",
-               "T=44"});
-  for (sim::Time delay : {0, 80, 200, 400, 675, 1000, 1600, 2600}) {
-    std::vector<std::string> lat_row{std::to_string(delay),
-                                     std::to_string(static_cast<int>(
-                                         static_cast<double>(delay) *
-                                         ns_per_cycle())),
-                                     "latency_ns"};
-    std::vector<std::string> frac_row{std::to_string(delay),
-                                      std::to_string(static_cast<int>(
-                                          static_cast<double>(delay) *
-                                          ns_per_cycle())),
-                                      "pre_write_abort_frac"};
-    for (int t : threads) {
-      const Result r = run(t, delay, ops, opts.seed);
-      char buf[32];
-      std::snprintf(buf, sizeof buf, "%.1f", r.mean_latency_ns);
-      lat_row.push_back(buf);
-      std::snprintf(buf, sizeof buf, "%.2f", r.pre_write_abort_fraction);
-      frac_row.push_back(buf);
-    }
-    table.add_row(lat_row);
-    table.add_row(frac_row);
-  }
+  // Column headers follow the actual --threads sweep (the old fixed
+  // "T=4..T=44" header broke on custom thread lists).
+  std::vector<std::string> columns{"delay_cycles", "delay_ns", "metric"};
+  for (int t : threads) columns.push_back("T=" + std::to_string(t));
+  Table table(std::move(columns));
+  if (!opts.csv) table.stream_to(std::cout);
+  const std::vector<sim::Time> delays{0, 80, 200, 400, 675, 1000, 1600, 2600};
+  std::vector<Result> results(delays.size() * threads.size());
+  run_sweep_cells(
+      delays.size(), threads.size(), opts.effective_jobs(),
+      [&](std::size_t i) {
+        results[i] = run(threads[i % threads.size()],
+                         delays[i / threads.size()], ops, opts.seed);
+      },
+      [&](std::size_t row) {
+        const sim::Time delay = delays[row];
+        const std::string delay_ns = std::to_string(
+            static_cast<int>(static_cast<double>(delay) * ns_per_cycle()));
+        std::vector<std::string> lat_row{std::to_string(delay), delay_ns,
+                                         "latency_ns"};
+        std::vector<std::string> frac_row{std::to_string(delay), delay_ns,
+                                          "pre_write_abort_frac"};
+        for (std::size_t ti = 0; ti < threads.size(); ++ti) {
+          const Result& r = results[row * threads.size() + ti];
+          char buf[32];
+          std::snprintf(buf, sizeof buf, "%.1f", r.mean_latency_ns);
+          lat_row.push_back(buf);
+          std::snprintf(buf, sizeof buf, "%.2f", r.pre_write_abort_fraction);
+          frac_row.push_back(buf);
+        }
+        table.add_row(lat_row);
+        table.add_row(frac_row);
+      });
   table.print(std::cout, opts.csv);
   return 0;
 }

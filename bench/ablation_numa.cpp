@@ -14,7 +14,9 @@
 // attempts/call; the fix restores first-attempt commits.
 #include <iostream>
 #include <memory>
+#include <vector>
 
+#include "benchsupport/parallel_sweep.hpp"
 #include "benchsupport/sweep.hpp"
 #include "benchsupport/table.hpp"
 #include "common/rng.hpp"
@@ -114,24 +116,43 @@ int main(int argc, char** argv) {
             << " writer ops each; readers poll the TxCAS target)\n";
   Table table({"writers", "readers", "reader_socket", "fix", "latency_ns",
                "attempts/call", "tripped/call", "fix_stalls/call"});
+  if (!opts.csv) table.stream_to(std::cout);
+  struct Combo {
+    int writers;
+    int readers;
+    bool remote;
+    bool fix;
+  };
+  std::vector<Combo> combos;
   for (int writers : {1, 2, 4}) {
     for (int readers : {2, 6}) {
       for (bool remote : {false, true}) {
         for (bool fix : {false, true}) {
-          const Result r =
-              run(writers, readers, remote, fix, ops, opts.seed);
-          char lat[32], att[32], trip[32], st[32];
-          std::snprintf(lat, sizeof lat, "%.1f", r.latency_ns);
-          std::snprintf(att, sizeof att, "%.2f", r.attempts_per_call);
-          std::snprintf(trip, sizeof trip, "%.3f", r.tripped_per_call);
-          std::snprintf(st, sizeof st, "%.3f", r.stalls_per_call);
-          table.add_row({std::to_string(writers), std::to_string(readers),
-                         remote ? "remote" : "local", fix ? "on" : "off",
-                         lat, att, trip, st});
+          combos.push_back({writers, readers, remote, fix});
         }
       }
     }
   }
+  std::vector<Result> results(combos.size());
+  run_sweep_cells(
+      combos.size(), 1, opts.effective_jobs(),
+      [&](std::size_t i) {
+        const Combo& c = combos[i];
+        results[i] = run(c.writers, c.readers, c.remote, c.fix, ops,
+                         opts.seed);
+      },
+      [&](std::size_t row) {
+        const Combo& c = combos[row];
+        const Result& r = results[row];
+        char lat[32], att[32], trip[32], st[32];
+        std::snprintf(lat, sizeof lat, "%.1f", r.latency_ns);
+        std::snprintf(att, sizeof att, "%.2f", r.attempts_per_call);
+        std::snprintf(trip, sizeof trip, "%.3f", r.tripped_per_call);
+        std::snprintf(st, sizeof st, "%.3f", r.stalls_per_call);
+        table.add_row({std::to_string(c.writers), std::to_string(c.readers),
+                       c.remote ? "remote" : "local", c.fix ? "on" : "off",
+                       lat, att, trip, st});
+      });
   table.print(std::cout, opts.csv);
   std::cout << "\n(Remote readers hold the commit window open across the "
                "interconnect and trip\n writers; the 3.4.1 fix converts "

@@ -6,7 +6,9 @@
 // workload (Figure 6's regime, where the single FAA is the bottleneck),
 // sweeping the stripe count.
 #include <iostream>
+#include <vector>
 
+#include "benchsupport/parallel_sweep.hpp"
 #include "benchsupport/sim_workload.hpp"
 #include "benchsupport/sweep.hpp"
 #include "benchsupport/table.hpp"
@@ -28,11 +30,17 @@ int main(int argc, char** argv) {
             << "# S=1 is the paper's basket; larger S shards the extraction "
                "FAA (" << ops << " ops/thread)\n";
   Table table({"threads", "S=1 (paper)", "S=2", "S=4", "S=8"});
-  for (int t : threads) {
-    std::vector<double> row{static_cast<double>(t)};
-    for (int stripes : {1, 2, 4, 8}) {
-      Summary lat;
-      for (int r = 0; r < repeats; ++r) {
+  if (!opts.csv) table.stream_to(std::cout);
+  const std::vector<int> stripe_counts{1, 2, 4, 8};
+  const std::size_t nrep = static_cast<std::size_t>(repeats);
+  const std::size_t cells_per_row = stripe_counts.size() * nrep;
+  std::vector<SimRunResult> results(threads.size() * cells_per_row);
+  run_sweep_cells(
+      threads.size(), cells_per_row, opts.effective_jobs(),
+      [&](std::size_t i) {
+        const int t = threads[i / cells_per_row];
+        const int stripes = stripe_counts[(i % cells_per_row) / nrep];
+        const std::uint64_t r = i % nrep;
         sim::MachineConfig mcfg;
         mcfg.cores = t;
         sim::Machine m(mcfg);
@@ -42,15 +50,22 @@ int main(int argc, char** argv) {
         qc.basket_capacity = std::max(44, t);
         qc.extraction_stripes = stripes;
         SimSbq q(m, qc);
-        const SimRunResult res = run_consumer_only(
-            m, q, /*prefill_producers=*/t, /*consumers=*/t, ops,
-            opts.seed + static_cast<std::uint64_t>(r) * 7919);
-        lat.add(res.deq_latency_ns(ns_per_cycle()));
-      }
-      row.push_back(lat.mean());
-    }
-    table.add_row(row);
-  }
+        results[i] = run_consumer_only(m, q, /*prefill_producers=*/t,
+                                       /*consumers=*/t, ops,
+                                       opts.seed + r * 7919);
+      },
+      [&](std::size_t row) {
+        std::vector<double> out{static_cast<double>(threads[row])};
+        for (std::size_t si = 0; si < stripe_counts.size(); ++si) {
+          Summary lat;
+          for (std::size_t r = 0; r < nrep; ++r) {
+            lat.add(results[row * cells_per_row + si * nrep + r]
+                        .deq_latency_ns(ns_per_cycle()));
+          }
+          out.push_back(lat.mean());
+        }
+        table.add_row(out);
+      });
   table.print(std::cout, opts.csv);
   std::cout << "\n(Striping shards the per-basket FAA chain across S "
                "counters; dequeue latency\n drops accordingly until stripe "

@@ -3,7 +3,9 @@
 // reads of the tail cross sockets and can trip enqueuers' TxCAS commits),
 // with the fix off and on.
 #include <iostream>
+#include <vector>
 
+#include "benchsupport/parallel_sweep.hpp"
 #include "benchsupport/sweep.hpp"
 #include "benchsupport/table.hpp"
 #include "common/stats.hpp"
@@ -22,12 +24,21 @@ int main(int argc, char** argv) {
             << ops << " ops/thread)\n";
   Table table({"threads", "enq_ns(nofix)", "enq_ns(fix)", "dur_ns(nofix)",
                "dur_ns(fix)"});
+  if (!opts.csv) table.stream_to(std::cout);
+  std::vector<int> rows;
   for (int total : totals) {
-    const int half = total / 2;
-    if (half < 1) continue;
-    Summary enq_off, enq_on, dur_off, dur_on;
-    for (int r = 0; r < repeats; ++r) {
-      for (bool fix : {false, true}) {
+    if (total / 2 >= 1) rows.push_back(total);
+  }
+  const std::size_t nrep = static_cast<std::size_t>(repeats);
+  const std::size_t cells_per_row = nrep * 2;  // (repeat, fix off/on)
+  std::vector<SimRunResult> results(rows.size() * cells_per_row);
+  run_sweep_cells(
+      rows.size(), cells_per_row, opts.effective_jobs(),
+      [&](std::size_t i) {
+        const int total = rows[i / cells_per_row];
+        const int half = total / 2;
+        const std::uint64_t r = (i % cells_per_row) / 2;
+        const bool fix = (i % 2) != 0;
         sim::MachineConfig mcfg;
         mcfg.cores = total;
         mcfg.sockets = 2;
@@ -38,23 +49,29 @@ int main(int argc, char** argv) {
         spec.consumers = half;
         spec.ops_per_thread = ops;
         spec.prefill = static_cast<simq::Value>(half) * ops / 2;
-        spec.seed = opts.seed + static_cast<std::uint64_t>(r) * 7919;
-        const SimRunResult res = run_queue_workload("SBQ-HTM", mcfg, spec);
-        const double total_ops = static_cast<double>(res.enq_ops + res.deq_ops);
-        const double dur = res.duration_cycles * ns_per_cycle() / total_ops *
-                           static_cast<double>(total);
-        if (fix) {
-          enq_on.add(res.enq_latency_ns(ns_per_cycle()));
-          dur_on.add(dur);
-        } else {
-          enq_off.add(res.enq_latency_ns(ns_per_cycle()));
-          dur_off.add(dur);
+        spec.seed = opts.seed + r * 7919;
+        results[i] = run_queue_workload(QueueKind::kSbqHtm, mcfg, spec);
+      },
+      [&](std::size_t row) {
+        const int total = rows[row];
+        Summary enq_off, enq_on, dur_off, dur_on;
+        for (std::size_t c = 0; c < cells_per_row; ++c) {
+          const SimRunResult& res = results[row * cells_per_row + c];
+          const double total_ops =
+              static_cast<double>(res.enq_ops + res.deq_ops);
+          const double dur = res.duration_cycles * ns_per_cycle() / total_ops *
+                             static_cast<double>(total);
+          if ((c % 2) != 0) {
+            enq_on.add(res.enq_latency_ns(ns_per_cycle()));
+            dur_on.add(dur);
+          } else {
+            enq_off.add(res.enq_latency_ns(ns_per_cycle()));
+            dur_off.add(dur);
+          }
         }
-      }
-    }
-    table.add_row({static_cast<double>(total), enq_off.mean(), enq_on.mean(),
-                   dur_off.mean(), dur_on.mean()});
-  }
+        table.add_row({static_cast<double>(total), enq_off.mean(),
+                       enq_on.mean(), dur_off.mean(), dur_on.mean()});
+      });
   table.print(std::cout, opts.csv);
   return 0;
 }

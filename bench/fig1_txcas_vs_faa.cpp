@@ -13,6 +13,7 @@
 #include <iostream>
 #include <memory>
 
+#include "benchsupport/parallel_sweep.hpp"
 #include "benchsupport/sweep.hpp"
 #include "benchsupport/table.hpp"
 #include "common/rng.hpp"
@@ -102,17 +103,39 @@ int main(int argc, char** argv) {
             << "# single socket, one contended word, " << ops
             << " ops/thread, " << repeats << " repeats\n";
   Table table({"threads", "faa_ns_op", "txcas_ns_op", "txcas_success_rate"});
-  for (int t : threads) {
-    Summary faa, txc, rate;
-    for (int r = 0; r < repeats; ++r) {
-      const std::uint64_t seed = opts.seed + static_cast<std::uint64_t>(r) * 977;
-      faa.add(run_mode(false, t, ops, seed, nullptr));
-      double sr = 0;
-      txc.add(run_mode(true, t, ops, seed, &sr));
-      rate.add(sr);
-    }
-    table.add_row({static_cast<double>(t), faa.mean(), txc.mean(), rate.mean()});
-  }
+  if (!opts.csv) table.stream_to(std::cout);
+
+  // One sweep cell per (thread count, repeat, mode); each runs its own
+  // deterministic machine, so cells execute in parallel on the --jobs pool.
+  struct Cell {
+    double ns = 0;
+    double success_rate = 0;
+  };
+  const std::size_t cells_per_row = static_cast<std::size_t>(repeats) * 2;
+  std::vector<Cell> cells(threads.size() * cells_per_row);
+  run_sweep_cells(
+      threads.size(), cells_per_row, opts.effective_jobs(),
+      [&](std::size_t i) {
+        const int t = threads[i / cells_per_row];
+        const int r = static_cast<int>((i % cells_per_row) / 2);
+        const bool txcas = (i % 2) != 0;
+        const std::uint64_t seed =
+            opts.seed + static_cast<std::uint64_t>(r) * 977;
+        Cell& c = cells[i];
+        c.ns = run_mode(txcas, t, ops, seed, txcas ? &c.success_rate : nullptr);
+      },
+      [&](std::size_t row) {
+        Summary faa, txc, rate;
+        for (int r = 0; r < repeats; ++r) {
+          const std::size_t base =
+              row * cells_per_row + static_cast<std::size_t>(r) * 2;
+          faa.add(cells[base].ns);
+          txc.add(cells[base + 1].ns);
+          rate.add(cells[base + 1].success_rate);
+        }
+        table.add_row({static_cast<double>(threads[row]), faa.mean(),
+                       txc.mean(), rate.mean()});
+      });
   table.print(std::cout, opts.csv);
   return 0;
 }

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "benchsupport/parallel_sweep.hpp"
 #include "benchsupport/sweep.hpp"
 #include "benchsupport/table.hpp"
 #include "sim/machine.hpp"
@@ -124,8 +125,13 @@ int main(int argc, char** argv) {
             << "# standard CAS = RMW executed; HTM CAS = transaction "
             << "committed or aborted.\n";
 
-  const Round cas = run_round(cores, /*htm=*/false);
-  const Round htm = run_round(cores, /*htm=*/true);
+  // The two rounds are independent simulations: run them as parallel cells.
+  std::vector<Round> rounds(2);
+  run_sweep_cells(1, 2, opts.effective_jobs(), [&](std::size_t i) {
+    rounds[i] = run_round(cores, /*htm=*/i == 1);
+  });
+  const Round& cas = rounds[0];
+  const Round& htm = rounds[1];
 
   Table table({"core", "standard_cas_resolved_ns", "htm_cas_resolved_ns"});
   for (int c = 0; c < cores; ++c) {

@@ -10,7 +10,9 @@
 //   * how many transactional attempts the writer needed.
 #include <iostream>
 #include <memory>
+#include <vector>
 
+#include "benchsupport/parallel_sweep.hpp"
 #include "benchsupport/sweep.hpp"
 #include "benchsupport/table.hpp"
 #include "sim/machine.hpp"
@@ -89,16 +91,27 @@ int main(int argc, char** argv) {
   Table table({"reader_offset_cycles", "tripped(nofix)", "writer_ns(nofix)",
                "attempts(nofix)", "tripped(fix)", "stalls(fix)",
                "writer_ns(fix)", "attempts(fix)"});
-  for (Time offset : {0, 20, 40, 60, 80, 100, 140, 180, 260, 400, 700}) {
-    const Outcome off = run_scenario(offset, false);
-    const Outcome on = run_scenario(offset, true);
-    table.add_row({std::to_string(offset), off.tripped ? "yes" : "no",
-                   std::to_string(static_cast<int>(off.writer_latency_ns)),
-                   std::to_string(off.attempts), on.tripped ? "yes" : "no",
-                   std::to_string(on.stalled),
-                   std::to_string(static_cast<int>(on.writer_latency_ns)),
-                   std::to_string(on.attempts)});
-  }
+  if (!opts.csv) table.stream_to(std::cout);
+  const std::vector<Time> offsets{0, 20, 40, 60, 80, 100, 140, 180, 260, 400,
+                                  700};
+  // One cell per (offset, fix) scenario — each a fresh machine.
+  std::vector<Outcome> outcomes(offsets.size() * 2);
+  run_sweep_cells(
+      offsets.size(), 2, opts.effective_jobs(),
+      [&](std::size_t i) {
+        outcomes[i] = run_scenario(offsets[i / 2], /*fix=*/(i % 2) != 0);
+      },
+      [&](std::size_t row) {
+        const Outcome& off = outcomes[row * 2];
+        const Outcome& on = outcomes[row * 2 + 1];
+        table.add_row({std::to_string(offsets[row]),
+                       off.tripped ? "yes" : "no",
+                       std::to_string(static_cast<int>(off.writer_latency_ns)),
+                       std::to_string(off.attempts), on.tripped ? "yes" : "no",
+                       std::to_string(on.stalled),
+                       std::to_string(static_cast<int>(on.writer_latency_ns)),
+                       std::to_string(on.attempts)});
+      });
   table.print(std::cout, opts.csv);
   std::cout << "\n(Offsets that land the Fwd-GetS inside the commit window "
                "trip the writer\n without the fix; with the fix the forward "

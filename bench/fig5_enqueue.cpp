@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
       opts.threads.empty() ? default_single_socket_sweep() : opts.threads;
   const simq::Value ops = opts.ops == 0 ? 200 : opts.ops;
   const int repeats = opts.repeats == 0 ? 2 : opts.repeats;
+  const std::vector<QueueKind>& queues = evaluated_queue_kinds();
 
   std::cout << "# Figure 5: enqueue-only latency & throughput "
             << "(single socket, empty queue, " << ops << " ops/thread, "
@@ -29,31 +30,45 @@ int main(int argc, char** argv) {
                    "CC-Queue", "MS-Queue"});
   Table thr_table({"threads", "SBQ-HTM", "SBQ-CAS", "WF-Queue", "BQ-Original",
                    "CC-Queue", "MS-Queue"});
-  for (int t : threads) {
-    std::vector<double> lat_row{static_cast<double>(t)};
-    std::vector<double> thr_row{static_cast<double>(t)};
-    for (const std::string& name : queue_names()) {
-      Summary lat, thr;
-      for (int r = 0; r < repeats; ++r) {
+  if (!opts.csv) {
+    // Stream latency rows as their sweep cells complete; the throughput
+    // table (same cells) prints after the sweep.
+    std::cout << "\n## Enqueue latency [ns/op] (lower is better)\n";
+    lat_table.stream_to(std::cout);
+  }
+  run_queue_sweep(
+      threads, queues, repeats, opts.effective_jobs(),
+      [&](int t, int repeat) {
         sim::MachineConfig mcfg;
         mcfg.cores = t;
         WorkloadSpec spec;
         spec.kind = Workload::kProducerOnly;
         spec.producers = t;
         spec.ops_per_thread = ops;
-        spec.seed = opts.seed + static_cast<std::uint64_t>(r) * 7919;
-        const SimRunResult res = run_queue_workload(name, mcfg, spec);
-        lat.add(res.enq_latency_ns(ns_per_cycle()));
-        thr.add(res.throughput_mops(ns_per_cycle()));
-      }
-      lat_row.push_back(lat.mean());
-      thr_row.push_back(thr.mean());
-    }
-    lat_table.add_row(lat_row);
-    thr_table.add_row(thr_row);
+        spec.seed = opts.seed + static_cast<std::uint64_t>(repeat) * 7919;
+        return std::pair(mcfg, spec);
+      },
+      [&](std::size_t row, const QueueSweepResults& res) {
+        std::vector<double> lat_row{static_cast<double>(threads[row])};
+        std::vector<double> thr_row{static_cast<double>(threads[row])};
+        for (std::size_t q = 0; q < queues.size(); ++q) {
+          Summary lat, thr;
+          for (int r = 0; r < repeats; ++r) {
+            const SimRunResult& cell =
+                res.at(row, q, static_cast<std::size_t>(r));
+            lat.add(cell.enq_latency_ns(ns_per_cycle()));
+            thr.add(cell.throughput_mops(ns_per_cycle()));
+          }
+          lat_row.push_back(lat.mean());
+          thr_row.push_back(thr.mean());
+        }
+        lat_table.add_row(lat_row);
+        thr_table.add_row(thr_row);
+      });
+  if (opts.csv) {
+    std::cout << "\n## Enqueue latency [ns/op] (lower is better)\n";
+    lat_table.print(std::cout, opts.csv);
   }
-  std::cout << "\n## Enqueue latency [ns/op] (lower is better)\n";
-  lat_table.print(std::cout, opts.csv);
   std::cout << "\n## Total throughput [Mop/s] (higher is better)\n";
   thr_table.print(std::cout, opts.csv);
   return 0;

@@ -21,16 +21,19 @@ int main(int argc, char** argv) {
       opts.threads.empty() ? default_single_socket_sweep() : opts.threads;
   const simq::Value ops = opts.ops == 0 ? 200 : opts.ops;
   const int repeats = opts.repeats == 0 ? 2 : opts.repeats;
+  const std::vector<QueueKind>& queues = evaluated_queue_kinds();
 
   std::cout << "# Figure 6: dequeue-only latency (single socket, pre-filled "
             << "queue, " << ops << " ops/thread, " << repeats << " repeats)\n";
   Table table({"threads", "SBQ-HTM", "SBQ-CAS", "WF-Queue", "BQ-Original",
                "CC-Queue", "MS-Queue"});
-  for (int t : threads) {
-    std::vector<double> row{static_cast<double>(t)};
-    for (const std::string& name : queue_names()) {
-      Summary lat;
-      for (int r = 0; r < repeats; ++r) {
+  if (!opts.csv) {
+    std::cout << "\n## Dequeue latency [ns/op] (lower is better)\n";
+    table.stream_to(std::cout);
+  }
+  run_queue_sweep(
+      threads, queues, repeats, opts.effective_jobs(),
+      [&](int t, int repeat) {
         sim::MachineConfig mcfg;
         mcfg.cores = t;
         WorkloadSpec spec;
@@ -40,15 +43,24 @@ int main(int argc, char** argv) {
         spec.producers = t;
         spec.consumers = t;
         spec.ops_per_thread = ops;
-        spec.seed = opts.seed + static_cast<std::uint64_t>(r) * 7919;
-        const SimRunResult res = run_queue_workload(name, mcfg, spec);
-        lat.add(res.deq_latency_ns(ns_per_cycle()));
-      }
-      row.push_back(lat.mean());
-    }
-    table.add_row(row);
+        spec.seed = opts.seed + static_cast<std::uint64_t>(repeat) * 7919;
+        return std::pair(mcfg, spec);
+      },
+      [&](std::size_t row, const QueueSweepResults& res) {
+        std::vector<double> out{static_cast<double>(threads[row])};
+        for (std::size_t q = 0; q < queues.size(); ++q) {
+          Summary lat;
+          for (int r = 0; r < repeats; ++r) {
+            lat.add(res.at(row, q, static_cast<std::size_t>(r))
+                        .deq_latency_ns(ns_per_cycle()));
+          }
+          out.push_back(lat.mean());
+        }
+        table.add_row(out);
+      });
+  if (opts.csv) {
+    std::cout << "\n## Dequeue latency [ns/op] (lower is better)\n";
+    table.print(std::cout, opts.csv);
   }
-  std::cout << "\n## Dequeue latency [ns/op] (lower is better)\n";
-  table.print(std::cout, opts.csv);
   return 0;
 }

@@ -18,23 +18,27 @@ int main(int argc, char** argv) {
   using namespace sbq;
   using namespace sbq::bench;
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const std::vector<int> threads =
+  std::vector<int> threads =
       opts.threads.empty() ? default_dual_socket_sweep() : opts.threads;
+  // The mixed workload needs at least one producer and one consumer.
+  std::erase_if(threads, [](int total) { return total / 2 < 1; });
   const simq::Value ops = opts.ops == 0 ? 200 : opts.ops;
   const int repeats = opts.repeats == 0 ? 2 : opts.repeats;
+  const std::vector<QueueKind>& queues = evaluated_queue_kinds();
 
   std::cout << "# Figure 7: mixed workload normalized duration (producers on "
             << "socket 0, consumers on socket 1, " << ops
             << " ops/thread, " << repeats << " repeats)\n";
   Table table({"threads", "SBQ-HTM", "SBQ-CAS", "WF-Queue", "BQ-Original",
                "CC-Queue", "MS-Queue"});
-  for (int total : threads) {
-    const int half = total / 2;
-    if (half < 1) continue;
-    std::vector<double> row{static_cast<double>(total)};
-    for (const std::string& name : queue_names()) {
-      Summary dur;
-      for (int r = 0; r < repeats; ++r) {
+  if (!opts.csv) {
+    std::cout << "\n## Normalized duration [ns/op] (lower is better)\n";
+    table.stream_to(std::cout);
+  }
+  run_queue_sweep(
+      threads, queues, repeats, opts.effective_jobs(),
+      [&](int total, int repeat) {
+        const int half = total / 2;
         sim::MachineConfig mcfg;
         mcfg.cores = total;
         mcfg.sockets = 2;
@@ -44,18 +48,29 @@ int main(int argc, char** argv) {
         spec.consumers = half;
         spec.ops_per_thread = ops;
         spec.prefill = static_cast<simq::Value>(half) * ops / 2;
-        spec.seed = opts.seed + static_cast<std::uint64_t>(r) * 7919;
-        const SimRunResult res = run_queue_workload(name, mcfg, spec);
-        const double total_ops =
-            static_cast<double>(res.enq_ops + res.deq_ops);
-        dur.add(res.duration_cycles * ns_per_cycle() / total_ops *
-                static_cast<double>(total));
-      }
-      row.push_back(dur.mean());
-    }
-    table.add_row(row);
+        spec.seed = opts.seed + static_cast<std::uint64_t>(repeat) * 7919;
+        return std::pair(mcfg, spec);
+      },
+      [&](std::size_t row, const QueueSweepResults& res) {
+        const int total = threads[row];
+        std::vector<double> out{static_cast<double>(total)};
+        for (std::size_t q = 0; q < queues.size(); ++q) {
+          Summary dur;
+          for (int r = 0; r < repeats; ++r) {
+            const SimRunResult& cell =
+                res.at(row, q, static_cast<std::size_t>(r));
+            const double total_ops =
+                static_cast<double>(cell.enq_ops + cell.deq_ops);
+            dur.add(cell.duration_cycles * ns_per_cycle() / total_ops *
+                    static_cast<double>(total));
+          }
+          out.push_back(dur.mean());
+        }
+        table.add_row(out);
+      });
+  if (opts.csv) {
+    std::cout << "\n## Normalized duration [ns/op] (lower is better)\n";
+    table.print(std::cout, opts.csv);
   }
-  std::cout << "\n## Normalized duration [ns/op] (lower is better)\n";
-  table.print(std::cout, opts.csv);
   return 0;
 }

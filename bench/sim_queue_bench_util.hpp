@@ -1,12 +1,21 @@
 // Shared dispatch for the figure benchmarks: construct one of the five
 // evaluated queues (§6.1) on a fresh simulated machine and run a workload.
+//
+// Queue selection is resolved once per sweep into a QueueKind enum (no
+// per-cell string validation), and sweep cells — each an independent,
+// deterministic simulation — are executed on the benchsupport parallel
+// sweep pool (--jobs / --serial), keyed by (row, column, repeat) so the
+// emitted tables are byte-identical to a serial run.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "benchsupport/parallel_sweep.hpp"
 #include "benchsupport/sim_workload.hpp"
 #include "simqueue/sim_baskets_queue.hpp"
 #include "simqueue/sim_cc_queue.hpp"
@@ -20,9 +29,49 @@ using simq::SimRunResult;
 
 // The queue lineup of the paper's evaluation. We additionally expose the
 // Michael–Scott queue (the CAS-retry ancestor) for context.
+enum class QueueKind {
+  kSbqHtm,
+  kSbqCas,
+  kWfQueue,
+  kBqOriginal,
+  kCcQueue,
+  kMsQueue,
+};
+
+inline const std::vector<QueueKind>& evaluated_queue_kinds() {
+  static const std::vector<QueueKind> kinds = {
+      QueueKind::kSbqHtm,   QueueKind::kSbqCas,  QueueKind::kWfQueue,
+      QueueKind::kBqOriginal, QueueKind::kCcQueue, QueueKind::kMsQueue};
+  return kinds;
+}
+
+inline const char* queue_kind_name(QueueKind kind) {
+  switch (kind) {
+    case QueueKind::kSbqHtm: return "SBQ-HTM";
+    case QueueKind::kSbqCas: return "SBQ-CAS";
+    case QueueKind::kWfQueue: return "WF-Queue";
+    case QueueKind::kBqOriginal: return "BQ-Original";
+    case QueueKind::kCcQueue: return "CC-Queue";
+    case QueueKind::kMsQueue: return "MS-Queue";
+  }
+  throw std::logic_error("bad QueueKind");
+}
+
+inline QueueKind queue_kind_from_name(const std::string& name) {
+  for (QueueKind kind : evaluated_queue_kinds()) {
+    if (name == queue_kind_name(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown queue: " + name);
+}
+
 inline const std::vector<std::string>& queue_names() {
-  static const std::vector<std::string> names = {
-      "SBQ-HTM", "SBQ-CAS", "WF-Queue", "BQ-Original", "CC-Queue", "MS-Queue"};
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (QueueKind kind : evaluated_queue_kinds()) {
+      out.emplace_back(queue_kind_name(kind));
+    }
+    return out;
+  }();
   return names;
 }
 
@@ -60,39 +109,91 @@ SimRunResult run_spec(sim::Machine& m, QueueT& q, const WorkloadSpec& spec,
   throw std::logic_error("bad workload");
 }
 
-inline SimRunResult run_queue_workload(const std::string& name,
-                                       sim::MachineConfig mcfg,
+inline SimRunResult run_queue_workload(QueueKind kind,
+                                       const sim::MachineConfig& mcfg,
                                        const WorkloadSpec& spec) {
   sim::Machine m(mcfg);
   const int single_space_offset = spec.producers;
-  if (name == "SBQ-HTM" || name == "SBQ-CAS") {
-    simq::SimSbq::Config qc;
-    qc.enqueuers = spec.producers;
-    qc.dequeuers = spec.consumers == 0 ? 1 : spec.consumers;
-    qc.basket_capacity = std::max(spec.basket_capacity, spec.producers);
-    qc.variant = name == "SBQ-HTM" ? simq::SbqVariant::kHtm
-                                   : simq::SbqVariant::kCas;
-    simq::SimSbq q(m, qc);
-    return run_spec(m, q, spec, /*consumer_id_offset=*/0);
+  switch (kind) {
+    case QueueKind::kSbqHtm:
+    case QueueKind::kSbqCas: {
+      simq::SimSbq::Config qc;
+      qc.enqueuers = spec.producers;
+      qc.dequeuers = spec.consumers == 0 ? 1 : spec.consumers;
+      qc.basket_capacity = std::max(spec.basket_capacity, spec.producers);
+      qc.variant = kind == QueueKind::kSbqHtm ? simq::SbqVariant::kHtm
+                                              : simq::SbqVariant::kCas;
+      simq::SimSbq q(m, qc);
+      return run_spec(m, q, spec, /*consumer_id_offset=*/0);
+    }
+    case QueueKind::kWfQueue: {
+      simq::SimFaaQueue q(m, {});
+      return run_spec(m, q, spec, single_space_offset);
+    }
+    case QueueKind::kBqOriginal: {
+      simq::SimBasketsQueue q(m, {});
+      q.set_dequeuers(spec.producers + spec.consumers + 1);
+      return run_spec(m, q, spec, single_space_offset);
+    }
+    case QueueKind::kCcQueue: {
+      simq::SimCcQueue q(m, {.threads = spec.producers + spec.consumers + 1});
+      return run_spec(m, q, spec, single_space_offset);
+    }
+    case QueueKind::kMsQueue: {
+      simq::SimMsQueue q(m, {});
+      return run_spec(m, q, spec, single_space_offset);
+    }
   }
-  if (name == "WF-Queue") {
-    simq::SimFaaQueue q(m, {});
-    return run_spec(m, q, spec, single_space_offset);
+  throw std::logic_error("bad QueueKind");
+}
+
+// Name-based shim for callers outside the sweep hot path (resolves the
+// name on every call; sweeps should resolve once and pass QueueKind).
+inline SimRunResult run_queue_workload(const std::string& name,
+                                       sim::MachineConfig mcfg,
+                                       const WorkloadSpec& spec) {
+  return run_queue_workload(queue_kind_from_name(name), mcfg, spec);
+}
+
+// (threads-row × queue × repeat) sweep grid executed on the parallel pool.
+// Results are keyed by cell index — at(row, queue, repeat) — so downstream
+// aggregation is independent of completion order.
+struct QueueSweepResults {
+  std::vector<SimRunResult> cells;
+  std::size_t queues = 0;
+  std::size_t repeats = 0;
+
+  const SimRunResult& at(std::size_t row, std::size_t queue,
+                         std::size_t repeat) const {
+    return cells[(row * queues + queue) * repeats + repeat];
   }
-  if (name == "BQ-Original") {
-    simq::SimBasketsQueue q(m, {});
-    q.set_dequeuers(spec.producers + spec.consumers + 1);
-    return run_spec(m, q, spec, single_space_offset);
-  }
-  if (name == "CC-Queue") {
-    simq::SimCcQueue q(m, {.threads = spec.producers + spec.consumers + 1});
-    return run_spec(m, q, spec, single_space_offset);
-  }
-  if (name == "MS-Queue") {
-    simq::SimMsQueue q(m, {});
-    return run_spec(m, q, spec, single_space_offset);
-  }
-  throw std::invalid_argument("unknown queue: " + name);
+};
+
+// Runs the standard figure grid: for each thread count in `rows`, each
+// queue in `queues`, and each repeat, one cell. `make` maps
+// (thread_count, repeat) -> {MachineConfig, WorkloadSpec} (the queue kind
+// is applied by the runner). `row_done(row, results)` is called on the
+// calling thread, in row order, as soon as a row's cells all finish —
+// drivers use it to stream finished table rows.
+template <typename MakeSpec, typename RowDone>
+void run_queue_sweep(const std::vector<int>& rows,
+                     const std::vector<QueueKind>& queues, int repeats,
+                     int jobs, MakeSpec make, RowDone row_done) {
+  QueueSweepResults res;
+  res.queues = queues.size();
+  res.repeats = static_cast<std::size_t>(repeats);
+  const std::size_t cells_per_row = res.queues * res.repeats;
+  res.cells.resize(rows.size() * cells_per_row);
+  run_sweep_cells(
+      rows.size(), cells_per_row, jobs,
+      [&](std::size_t i) {
+        const std::size_t row = i / cells_per_row;
+        const std::size_t queue = (i % cells_per_row) / res.repeats;
+        const int repeat = static_cast<int>(i % res.repeats);
+        const auto [mcfg, spec] = make(rows[row], repeat);
+        res.cells[i] = run_queue_workload(queues[queue], mcfg, spec);
+      },
+      [&](std::size_t row) { row_done(row, res); });
 }
 
 }  // namespace sbq::bench

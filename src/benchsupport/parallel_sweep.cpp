@@ -1,0 +1,82 @@
+#include "benchsupport/parallel_sweep.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sbq {
+
+int default_sweep_jobs() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+void run_sweep_cells(std::size_t rows, std::size_t cells_per_row, int jobs,
+                     const std::function<void(std::size_t)>& cell,
+                     const std::function<void(std::size_t)>& on_row_done) {
+  const std::size_t total = rows * cells_per_row;
+  if (total == 0) return;
+
+  if (jobs <= 1 || total == 1) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cells_per_row; ++c) {
+        cell(r * cells_per_row + c);
+      }
+      if (on_row_done) on_row_done(r);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::size_t> row_remaining(rows, cells_per_row);
+  std::exception_ptr error;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      bool failed = false;
+      try {
+        cell(i);
+      } catch (...) {
+        failed = true;
+        std::lock_guard<std::mutex> lk(mu);
+        if (!error) error = std::current_exception();
+      }
+      if (failed) {
+        // Fast-drain: stop handing out cells; the calling thread rethrows.
+        next.store(total, std::memory_order_relaxed);
+      }
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        if (--row_remaining[i / cells_per_row] == 0 || failed) {
+          cv.notify_all();
+        }
+      }
+    }
+  };
+
+  const std::size_t nthreads =
+      std::min(static_cast<std::size_t>(jobs), total);
+  std::vector<std::thread> pool;
+  pool.reserve(nthreads);
+  for (std::size_t t = 0; t < nthreads; ++t) pool.emplace_back(worker);
+
+  // Deliver completed rows in order while workers chew through later ones.
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return row_remaining[r] == 0 || error != nullptr; });
+    if (error) break;
+    lk.unlock();
+    if (on_row_done) on_row_done(r);
+  }
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace sbq

@@ -1,0 +1,47 @@
+// Parallel sweep runner for the figure-reproduction benchmarks.
+//
+// Every sweep cell — one (row, column, repeat) point of a figure — is an
+// independent, deterministic, single-threaded simulation on its own
+// sim::Machine, so cells can run concurrently on a fixed-size pool of real
+// threads. Results are keyed by cell index (row-major), never by completion
+// order, so the emitted tables are byte-identical to a serial run for the
+// same seed regardless of scheduling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace sbq {
+
+// Worker count used when the caller does not pass --jobs:
+// std::thread::hardware_concurrency(), at least 1.
+int default_sweep_jobs();
+
+// Runs `rows * cells_per_row` independent cells on `jobs` worker threads
+// (jobs <= 1 runs everything inline on the calling thread — serial mode).
+//
+// cell(i) is invoked exactly once for each index i in [0, rows *
+// cells_per_row); cells run concurrently, so each must confine its writes
+// to state owned by index i (e.g. a slot in a pre-sized results vector).
+// Cell index i belongs to row i / cells_per_row (row-major).
+//
+// on_row_done(row), if non-null, is invoked on the *calling* thread in
+// strict row order 0..rows-1, as soon as every cell of that row has
+// completed — this is what lets drivers stream finished table rows while
+// later rows are still simulating. Workers are handed cells in row-major
+// order, so early rows tend to finish (and print) first.
+//
+// The first exception thrown by any cell is rethrown on the calling thread
+// after the pool drains; remaining on_row_done callbacks are skipped.
+void run_sweep_cells(std::size_t rows, std::size_t cells_per_row, int jobs,
+                     const std::function<void(std::size_t)>& cell,
+                     const std::function<void(std::size_t)>& on_row_done);
+
+// Convenience overload: no row streaming.
+inline void run_sweep_cells(std::size_t rows, std::size_t cells_per_row,
+                            int jobs,
+                            const std::function<void(std::size_t)>& cell) {
+  run_sweep_cells(rows, cells_per_row, jobs, cell, nullptr);
+}
+
+}  // namespace sbq

@@ -1,5 +1,7 @@
 #include "benchsupport/table.hpp"
 
+#include "benchsupport/parallel_sweep.hpp"
+
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +19,10 @@ void Table::add_row(std::vector<std::string> cells) {
     throw std::invalid_argument("Table::add_row: cell count != column count");
   }
   rows_.push_back(std::move(cells));
+  if (stream_ != nullptr) {
+    print_aligned_row(*stream_, rows_.back(), stream_widths_);
+    stream_->flush();
+  }
 }
 
 void Table::add_row(const std::vector<double>& cells, int precision) {
@@ -28,6 +34,33 @@ void Table::add_row(const std::vector<double>& cells, int precision) {
     out.push_back(ss.str());
   }
   add_row(std::move(out));
+}
+
+void Table::print_aligned_row(std::ostream& os,
+                              const std::vector<std::string>& row,
+                              const std::vector<std::size_t>& widths) const {
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    os << std::setw(static_cast<int>(widths[c])) << row[c]
+       << (c + 1 < row.size() ? "  " : "\n");
+  }
+}
+
+void Table::stream_to(std::ostream& os) {
+  stream_ = &os;
+  // Widths are fixed up front (rows are not known yet): wide enough for the
+  // header and for typical formatted numbers.
+  constexpr std::size_t kMinStreamWidth = 8;
+  stream_widths_.assign(columns_.size(), kMinStreamWidth);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    stream_widths_[c] = std::max(stream_widths_[c], columns_[c].size());
+  }
+  print_aligned_row(os, columns_, stream_widths_);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << std::string(stream_widths_[c], '-')
+       << (c + 1 < columns_.size() ? "  " : "\n");
+  }
+  for (const auto& row : rows_) print_aligned_row(os, row, stream_widths_);
+  os.flush();
 }
 
 void Table::print(std::ostream& os, bool csv) const {
@@ -42,6 +75,7 @@ void Table::print(std::ostream& os, bool csv) const {
     }
     return;
   }
+  if (stream_ == &os) return;  // rows were already streamed to this sink
   std::vector<std::size_t> widths(columns_.size());
   for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
   for (const auto& row : rows_) {
@@ -49,17 +83,11 @@ void Table::print(std::ostream& os, bool csv) const {
       widths[c] = std::max(widths[c], row[c].size());
     }
   }
-  auto print_row = [&](const std::vector<std::string>& row) {
-    for (std::size_t c = 0; c < row.size(); ++c) {
-      os << std::setw(static_cast<int>(widths[c])) << row[c]
-         << (c + 1 < row.size() ? "  " : "\n");
-    }
-  };
-  print_row(columns_);
+  print_aligned_row(os, columns_, widths);
   for (std::size_t c = 0; c < columns_.size(); ++c) {
     os << std::string(widths[c], '-') << (c + 1 < columns_.size() ? "  " : "\n");
   }
-  for (const auto& row : rows_) print_row(row);
+  for (const auto& row : rows_) print_aligned_row(os, row, widths);
 }
 
 BenchOptions BenchOptions::parse(int argc, char** argv) {
@@ -78,6 +106,13 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
       opts.ops = std::strtoull(next_value(), nullptr, 10);
     } else if (std::strcmp(a, "--repeats") == 0) {
       opts.repeats = static_cast<int>(std::strtol(next_value(), nullptr, 10));
+    } else if (std::strcmp(a, "--jobs") == 0) {
+      opts.jobs = static_cast<int>(std::strtol(next_value(), nullptr, 10));
+      if (opts.jobs < 1) {
+        throw std::invalid_argument("--jobs needs a positive thread count");
+      }
+    } else if (std::strcmp(a, "--serial") == 0) {
+      opts.serial = true;
     } else if (std::strcmp(a, "--threads") == 0) {
       const char* list = next_value();
       std::stringstream ss(list);
@@ -90,6 +125,11 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
     }
   }
   return opts;
+}
+
+int BenchOptions::effective_jobs() const {
+  if (serial) return 1;
+  return jobs > 0 ? jobs : default_sweep_jobs();
 }
 
 }  // namespace sbq

@@ -18,25 +18,45 @@ class Table {
   // Convenience: formats doubles with the given precision.
   void add_row(const std::vector<double>& cells, int precision = 2);
 
+  // Progress streaming for long sweeps (pretty mode only): prints the
+  // header immediately and echoes every subsequent add_row to `os` with
+  // fixed column widths, so each row appears as soon as its sweep cells
+  // complete instead of after the whole sweep. print() on a streaming
+  // table is then a no-op in pretty mode (the rows are already out);
+  // --csv output is unaffected — CSV callers never enable streaming.
+  void stream_to(std::ostream& os);
+
   void print(std::ostream& os, bool csv) const;
 
   std::size_t row_count() const noexcept { return rows_.size(); }
   const std::vector<std::string>& column_names() const noexcept { return columns_; }
 
  private:
+  void print_aligned_row(std::ostream& os, const std::vector<std::string>& row,
+                         const std::vector<std::size_t>& widths) const;
+
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
+  std::ostream* stream_ = nullptr;       // non-null => streaming enabled
+  std::vector<std::size_t> stream_widths_;
 };
 
 // Shared CLI parsing for bench binaries: recognizes --csv, --seed N,
-// --threads LIST (comma separated), --ops N, --repeats N.
+// --threads LIST (comma separated), --ops N, --repeats N, --jobs N,
+// --serial.
 struct BenchOptions {
   bool csv = false;
   unsigned long long seed = 42;
   std::vector<int> threads;       // empty => binary default sweep
   unsigned long long ops = 0;     // 0 => binary default
   int repeats = 0;                // 0 => binary default
+  int jobs = 0;                   // 0 => default_sweep_jobs()
+  bool serial = false;            // force single-threaded cell execution
   static BenchOptions parse(int argc, char** argv);
+
+  // Worker threads for the sweep pool: 1 under --serial, --jobs N when
+  // given, otherwise hardware_concurrency.
+  int effective_jobs() const;
 };
 
 }  // namespace sbq

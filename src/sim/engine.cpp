@@ -1,34 +1,41 @@
 #include "sim/engine.hpp"
 
-#include <utility>
-
 namespace sbq::sim {
 
-void Engine::schedule(Time delay, Action action) {
-  queue_.push(Event{now_ + delay, next_seq_++, std::move(action)});
+Engine::~Engine() {
+  // Destroy (without running) any events still pending; slab storage is
+  // reclaimed by the slabs_ vector.
+  for (Entry& e : heap_) e.node->run_and_destroy(e.node, /*run=*/false);
+}
+
+void Engine::refill_slab() {
+  ++alloc_.slab_refills;
+  slabs_.push_back(std::make_unique<Node[]>(kSlabNodes));
+  Node* chunk = slabs_.back().get();
+  for (std::size_t i = 0; i < kSlabNodes; ++i) release_node(&chunk[i]);
+}
+
+void Engine::step() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const Entry e = heap_.back();
+  heap_.pop_back();
+  now_ = e.time;
+  ++processed_;
+  // The callable may re-enter schedule(); the entry is already off the heap
+  // and the node is recycled only after the callable finishes.
+  e.node->run_and_destroy(e.node, /*run=*/true);
+  release_node(e.node);
 }
 
 Time Engine::run() {
-  while (!queue_.empty()) {
-    // Moving out of the priority queue requires a const_cast dance; copy the
-    // small fields and move the action via top() + pop().
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
-    ++processed_;
-    ev.action();
-  }
+  while (!heap_.empty()) step();
   return now_;
 }
 
 bool Engine::run_until(Time limit) {
-  while (!queue_.empty()) {
-    if (queue_.top().time > limit) return false;
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
-    ++processed_;
-    ev.action();
+  while (!heap_.empty()) {
+    if (heap_.front().time > limit) return false;
+    step();
   }
   return true;
 }

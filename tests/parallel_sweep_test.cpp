@@ -1,0 +1,121 @@
+// Determinism regression tests for the parallel sweep runner: a sweep run
+// on the --jobs pool must produce results bit-identical to a serial run,
+// cell by cell, and the pool must deliver rows in order.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "benchsupport/parallel_sweep.hpp"
+#include "sim_queue_bench_util.hpp"
+
+namespace sbq::bench {
+namespace {
+
+// A fig5-style producer-only grid: every evaluated queue at a few thread
+// counts, two repeats, collected via run_queue_sweep.
+QueueSweepResults run_small_fig5_sweep(int jobs, std::uint64_t seed) {
+  const std::vector<int> threads{1, 2, 4};
+  const std::vector<QueueKind>& queues = evaluated_queue_kinds();
+  const int repeats = 2;
+  QueueSweepResults out;
+  run_queue_sweep(
+      threads, queues, repeats, jobs,
+      [&](int t, int repeat) {
+        sim::MachineConfig mcfg;
+        mcfg.cores = t;
+        WorkloadSpec spec;
+        spec.kind = Workload::kProducerOnly;
+        spec.producers = t;
+        spec.ops_per_thread = 30;
+        spec.seed = seed + static_cast<std::uint64_t>(repeat) * 7919;
+        return std::pair(mcfg, spec);
+      },
+      [&](std::size_t row, const QueueSweepResults& res) {
+        if (row + 1 == threads.size()) out = res;  // snapshot once complete
+      });
+  return out;
+}
+
+void expect_identical(const QueueSweepResults& a, const QueueSweepResults& b) {
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    EXPECT_EQ(a.cells[i].enq_ops, b.cells[i].enq_ops);
+    EXPECT_EQ(a.cells[i].deq_ops, b.cells[i].deq_ops);
+    // The simulation is deterministic, so even the derived doubles must be
+    // bit-identical — no tolerance.
+    EXPECT_EQ(a.cells[i].enq_latency_cycles, b.cells[i].enq_latency_cycles);
+    EXPECT_EQ(a.cells[i].deq_latency_cycles, b.cells[i].deq_latency_cycles);
+    EXPECT_EQ(a.cells[i].duration_cycles, b.cells[i].duration_cycles);
+  }
+}
+
+TEST(ParallelSweep, ParallelMatchesSerialCellByCell) {
+  const QueueSweepResults serial = run_small_fig5_sweep(/*jobs=*/1, 42);
+  const QueueSweepResults parallel = run_small_fig5_sweep(/*jobs=*/4, 42);
+  ASSERT_FALSE(serial.cells.empty());
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelSweep, SameSeedTwiceIsIdentical) {
+  const QueueSweepResults first = run_small_fig5_sweep(/*jobs=*/4, 7);
+  const QueueSweepResults second = run_small_fig5_sweep(/*jobs=*/4, 7);
+  expect_identical(first, second);
+}
+
+TEST(ParallelSweep, DifferentSeedDiffers) {
+  const QueueSweepResults a = run_small_fig5_sweep(/*jobs=*/2, 1);
+  const QueueSweepResults b = run_small_fig5_sweep(/*jobs=*/2, 99);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    any_diff |= a.cells[i].duration_cycles != b.cells[i].duration_cycles;
+  }
+  EXPECT_TRUE(any_diff) << "seed must influence the simulated timings";
+}
+
+TEST(ParallelSweep, RowsDeliveredInOrderWhileCellsRunOutOfOrder) {
+  constexpr std::size_t kRows = 8;
+  constexpr std::size_t kCols = 3;
+  std::vector<int> order;
+  std::atomic<int> cells_run{0};
+  run_sweep_cells(
+      kRows, kCols, /*jobs=*/4,
+      [&](std::size_t) { cells_run.fetch_add(1); },
+      [&](std::size_t row) { order.push_back(static_cast<int>(row)); });
+  EXPECT_EQ(cells_run.load(), static_cast<int>(kRows * kCols));
+  ASSERT_EQ(order.size(), kRows);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    EXPECT_EQ(order[r], static_cast<int>(r));
+  }
+}
+
+TEST(ParallelSweep, CellExceptionPropagates) {
+  EXPECT_THROW(
+      run_sweep_cells(4, 2, /*jobs=*/3,
+                      [&](std::size_t i) {
+                        if (i == 5) throw std::runtime_error("boom");
+                      }),
+      std::runtime_error);
+}
+
+TEST(ParallelSweep, SerialModeRunsInline) {
+  std::vector<std::size_t> seen;
+  run_sweep_cells(2, 2, /*jobs=*/1,
+                  [&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(QueueFactory, NamesRoundTrip) {
+  for (QueueKind kind : evaluated_queue_kinds()) {
+    EXPECT_EQ(queue_kind_from_name(queue_kind_name(kind)), kind);
+  }
+  EXPECT_THROW(queue_kind_from_name("No-Such-Queue"), std::invalid_argument);
+  EXPECT_EQ(queue_names().size(), evaluated_queue_kinds().size());
+}
+
+}  // namespace
+}  // namespace sbq::bench
