@@ -15,8 +15,8 @@ int main(int argc, char** argv) {
   using namespace sbq;
   using namespace sbq::bench;
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const simq::Value ops = opts.ops == 0 ? 200 : opts.ops;
-  const int repeats = opts.repeats == 0 ? 3 : opts.repeats;
+  const simq::Value ops = opts.ops_or(200);
+  const int repeats = opts.repeats_or(3);
 
   std::cout << "# 5.3.4 ablation: SBQ-HTM enqueue latency vs basket size B "
                "and enqueuers T (" << ops << " ops/thread)\n";
@@ -24,9 +24,28 @@ int main(int argc, char** argv) {
   if (!opts.csv) table.stream_to(std::cout);
   const std::vector<int> thread_counts{2, 8, 22, 44};
   const std::vector<int> basket_sizes{2, 8, 22, 44, 88};
+  BenchReport report("ablation_basket_size");
+  report.set_sweep_config(opts, thread_counts, ops, repeats);
+  report.set("ns_per_cycle", Json(ns_per_cycle()));
+  {
+    Json jb = Json::array();
+    for (int b : basket_sizes) jb.push_back(Json(b));
+    report.set_config("basket_sizes", std::move(jb));
+  }
   const std::size_t nrep = static_cast<std::size_t>(repeats);
   const std::size_t cells_per_row = thread_counts.size() * nrep;
-  std::vector<double> lat_ns(basket_sizes.size() * cells_per_row, -1.0);
+  auto make = [&](int t, int b, int r) {
+    sim::MachineConfig mcfg;
+    mcfg.cores = t;
+    WorkloadSpec spec;
+    spec.kind = Workload::kProducerOnly;
+    spec.producers = t;
+    spec.ops_per_thread = ops;
+    spec.basket_capacity = b;
+    spec.seed = opts.seed + static_cast<std::uint64_t>(r) * 7919;
+    return std::pair(mcfg, spec);
+  };
+  std::vector<SimRunResult> results(basket_sizes.size() * cells_per_row);
   run_sweep_cells(
       basket_sizes.size(), cells_per_row, opts.effective_jobs(),
       [&](std::size_t i) {
@@ -34,27 +53,40 @@ int main(int argc, char** argv) {
         const int t = thread_counts[(i % cells_per_row) / nrep];
         const int r = static_cast<int>(i % nrep);
         if (b < t) return;  // infeasible cell: B must cover the enqueuers
-        sim::MachineConfig mcfg;
-        mcfg.cores = t;
-        WorkloadSpec spec;
-        spec.kind = Workload::kProducerOnly;
-        spec.producers = t;
-        spec.ops_per_thread = ops;
-        spec.basket_capacity = b;
-        spec.seed = opts.seed + static_cast<std::uint64_t>(r) * 7919;
-        lat_ns[i] = run_queue_workload(QueueKind::kSbqHtm, mcfg, spec)
-                        .enq_latency_ns(ns_per_cycle());
+        const auto [mcfg, spec] = make(t, b, r);
+        results[i] = run_queue_workload(QueueKind::kSbqHtm, mcfg, spec);
       },
       [&](std::size_t row) {
-        std::vector<std::string> out{std::to_string(basket_sizes[row])};
+        const int b = basket_sizes[row];
+        if (!opts.json_path.empty()) {
+          for (std::size_t ti = 0; ti < thread_counts.size(); ++ti) {
+            if (b < thread_counts[ti]) continue;
+            for (std::size_t r = 0; r < nrep; ++r) {
+              const SimRunResult& res =
+                  results[row * cells_per_row + ti * nrep + r];
+              Json cj = Json::object();
+              cj.set("basket_capacity", Json(b));
+              cj.set("threads", Json(thread_counts[ti]));
+              cj.set("repeat", Json(static_cast<int>(r)));
+              cj.set("enq_ops", Json(res.enq_ops));
+              cj.set("enq_latency_ns", Json(res.enq_latency_ns(ns_per_cycle())));
+              cj.set("duration_cycles",
+                     Json(static_cast<std::uint64_t>(res.duration_cycles)));
+              cj.set("counters", metrics_to_json(res.metrics));
+              report.add_cell(std::move(cj));
+            }
+          }
+        }
+        std::vector<std::string> out{std::to_string(b)};
         for (std::size_t ti = 0; ti < thread_counts.size(); ++ti) {
-          if (basket_sizes[row] < thread_counts[ti]) {
+          if (b < thread_counts[ti]) {
             out.push_back("-");
             continue;
           }
           Summary lat;
           for (std::size_t r = 0; r < nrep; ++r) {
-            lat.add(lat_ns[row * cells_per_row + ti * nrep + r]);
+            lat.add(results[row * cells_per_row + ti * nrep + r]
+                        .enq_latency_ns(ns_per_cycle()));
           }
           char buf[32];
           std::snprintf(buf, sizeof buf, "%.1f", lat.mean());
@@ -65,5 +97,17 @@ int main(int argc, char** argv) {
   table.print(std::cout, opts.csv);
   std::cout << "\n(For fixed B, latency improves as T grows — O(B/T) "
                "amortized init; the B=T\n diagonal stays flat.)\n";
+  if (!opts.json_path.empty()) {
+    report.add_table("enq_latency_ns", table);
+    if (!report.write(opts.json_path)) return 1;
+  }
+  if (!opts.trace_path.empty()) {
+    // Traced cell: the B = T diagonal at the smallest thread count.
+    const auto [mcfg, spec] =
+        make(thread_counts.front(), basket_sizes.front(), 0);
+    if (!write_traced_cell(opts.trace_path, QueueKind::kSbqHtm, mcfg, spec)) {
+      return 1;
+    }
+  }
   return 0;
 }

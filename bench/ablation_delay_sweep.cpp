@@ -6,10 +6,13 @@
 // just add latency. We sweep the delay at several thread counts and report
 // mean TxCAS latency plus the pre-write-abort fraction (aborts that
 // happened before the write issued, which is what the delay buys).
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <vector>
 
+#include "benchsupport/bench_report.hpp"
+#include "benchsupport/metrics_json.hpp"
 #include "benchsupport/parallel_sweep.hpp"
 #include "benchsupport/sweep.hpp"
 #include "benchsupport/table.hpp"
@@ -29,11 +32,14 @@ using sim::Value;
 struct Result {
   double mean_latency_ns = 0;
   double pre_write_abort_fraction = 0;  // nested / all transactional aborts
+  sim::MetricsSnapshot metrics;
 };
 
-Result run(int threads, Time delay, Value ops, std::uint64_t seed) {
+Result run(int threads, Time delay, Value ops, std::uint64_t seed,
+           const std::string& trace_path = {}) {
   sim::MachineConfig mcfg;
   mcfg.cores = threads;
+  mcfg.record_trace = !trace_path.empty();
   Machine m(mcfg);
   const Addr x = m.alloc();
   auto lat = std::make_shared<double>(0);
@@ -73,6 +79,15 @@ Result run(int threads, Time delay, Value ops, std::uint64_t seed) {
   r.pre_write_abort_fraction =
       aborts > 0 ? static_cast<double>(nested) / aborts : 1.0;
   (void)tripped;
+  r.metrics = m.metrics();
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (out) {
+      m.trace().write_jsonl(out);
+    } else {
+      std::cerr << "--trace: cannot open " << trace_path << " for writing\n";
+    }
+  }
   return r;
 }
 
@@ -82,9 +97,8 @@ Result run(int threads, Time delay, Value ops, std::uint64_t seed) {
 int main(int argc, char** argv) {
   using namespace sbq;
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const sim::Value ops = opts.ops == 0 ? 250 : opts.ops;
-  const std::vector<int> threads =
-      opts.threads.empty() ? std::vector<int>{4, 16, 32, 44} : opts.threads;
+  const sim::Value ops = opts.ops_or(250);
+  const std::vector<int> threads = opts.threads_or({4, 16, 32, 44});
 
   std::cout << "# 4.1 ablation: TxCAS intra-transaction delay sweep ("
             << ops << " ops/thread)\n"
@@ -96,6 +110,14 @@ int main(int argc, char** argv) {
   Table table(std::move(columns));
   if (!opts.csv) table.stream_to(std::cout);
   const std::vector<sim::Time> delays{0, 80, 200, 400, 675, 1000, 1600, 2600};
+  BenchReport report("ablation_delay_sweep");
+  report.set_sweep_config(opts, threads, ops, /*repeats=*/1);
+  report.set("ns_per_cycle", Json(ns_per_cycle()));
+  {
+    Json jd = Json::array();
+    for (sim::Time d : delays) jd.push_back(Json(static_cast<std::uint64_t>(d)));
+    report.set_config("delays_cycles", std::move(jd));
+  }
   std::vector<Result> results(delays.size() * threads.size());
   run_sweep_cells(
       delays.size(), threads.size(), opts.effective_jobs(),
@@ -105,6 +127,19 @@ int main(int argc, char** argv) {
       },
       [&](std::size_t row) {
         const sim::Time delay = delays[row];
+        if (!opts.json_path.empty()) {
+          for (std::size_t ti = 0; ti < threads.size(); ++ti) {
+            const Result& r = results[row * threads.size() + ti];
+            Json cj = Json::object();
+            cj.set("delay_cycles", Json(static_cast<std::uint64_t>(delay)));
+            cj.set("threads", Json(threads[ti]));
+            cj.set("latency_ns", Json(r.mean_latency_ns));
+            cj.set("pre_write_abort_fraction",
+                   Json(r.pre_write_abort_fraction));
+            cj.set("counters", metrics_to_json(r.metrics));
+            report.add_cell(std::move(cj));
+          }
+        }
         const std::string delay_ns = std::to_string(
             static_cast<int>(static_cast<double>(delay) * ns_per_cycle()));
         std::vector<std::string> lat_row{std::to_string(delay), delay_ns,
@@ -123,5 +158,13 @@ int main(int argc, char** argv) {
         table.add_row(frac_row);
       });
   table.print(std::cout, opts.csv);
+  if (!opts.json_path.empty()) {
+    report.add_table("delay_sweep", table);
+    if (!report.write(opts.json_path)) return 1;
+  }
+  if (!opts.trace_path.empty()) {
+    // Traced cell: the paper-optimal delay at the first thread count.
+    run(threads.front(), /*delay=*/675, ops, opts.seed, opts.trace_path);
+  }
   return 0;
 }

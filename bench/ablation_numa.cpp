@@ -12,10 +12,13 @@
 // Expected: remote readers widen the hit probability of the commit window
 // (cross-socket invalidation acks hold it open longer), inflating
 // attempts/call; the fix restores first-attempt commits.
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <vector>
 
+#include "benchsupport/bench_report.hpp"
+#include "benchsupport/metrics_json.hpp"
 #include "benchsupport/parallel_sweep.hpp"
 #include "benchsupport/sweep.hpp"
 #include "benchsupport/table.hpp"
@@ -36,14 +39,16 @@ struct Result {
   double attempts_per_call = 0;
   double tripped_per_call = 0;
   double stalls_per_call = 0;
+  sim::MetricsSnapshot metrics;
 };
 
 Result run(int writers, int readers, bool remote_readers, bool fix, Value ops,
-           std::uint64_t seed) {
+           std::uint64_t seed, const std::string& trace_path = {}) {
   sim::MachineConfig mcfg;
   mcfg.cores = 2 * (writers + readers);
   mcfg.sockets = 2;
   mcfg.uarch_fix = fix;
+  mcfg.record_trace = !trace_path.empty();
   Machine m(mcfg);
   const int per_socket = mcfg.cores / 2;
   const Addr x = m.alloc();
@@ -100,6 +105,15 @@ Result run(int writers, int readers, bool remote_readers, bool fix, Value ops,
       static_cast<double>(tripped) / static_cast<double>(calls);
   res.stalls_per_call =
       static_cast<double>(stalls) / static_cast<double>(calls);
+  res.metrics = m.metrics();
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (out) {
+      m.trace().write_jsonl(out);
+    } else {
+      std::cerr << "--trace: cannot open " << trace_path << " for writing\n";
+    }
+  }
   return res;
 }
 
@@ -109,7 +123,7 @@ Result run(int writers, int readers, bool remote_readers, bool fix, Value ops,
 int main(int argc, char** argv) {
   using namespace sbq;
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const sim::Value ops = opts.ops == 0 ? 400 : opts.ops;
+  const sim::Value ops = opts.ops_or(400);
 
   std::cout << "# 4.3 ablation: TxCAS writers (socket 0) with polling "
                "readers, local vs remote\n# (" << ops
@@ -133,6 +147,10 @@ int main(int argc, char** argv) {
       }
     }
   }
+  BenchReport report("ablation_numa");
+  report.set_config("seed", Json(static_cast<std::uint64_t>(opts.seed)));
+  report.set_config("ops_per_writer", Json(static_cast<std::uint64_t>(ops)));
+  report.set("ns_per_cycle", Json(ns_per_cycle()));
   std::vector<Result> results(combos.size());
   run_sweep_cells(
       combos.size(), 1, opts.effective_jobs(),
@@ -144,6 +162,19 @@ int main(int argc, char** argv) {
       [&](std::size_t row) {
         const Combo& c = combos[row];
         const Result& r = results[row];
+        if (!opts.json_path.empty()) {
+          Json cj = Json::object();
+          cj.set("writers", Json(c.writers));
+          cj.set("readers", Json(c.readers));
+          cj.set("reader_socket", Json(c.remote ? "remote" : "local"));
+          cj.set("uarch_fix", Json(c.fix));
+          cj.set("latency_ns", Json(r.latency_ns));
+          cj.set("attempts_per_call", Json(r.attempts_per_call));
+          cj.set("tripped_per_call", Json(r.tripped_per_call));
+          cj.set("fix_stalls_per_call", Json(r.stalls_per_call));
+          cj.set("counters", metrics_to_json(r.metrics));
+          report.add_cell(std::move(cj));
+        }
         char lat[32], att[32], trip[32], st[32];
         std::snprintf(lat, sizeof lat, "%.1f", r.latency_ns);
         std::snprintf(att, sizeof att, "%.2f", r.attempts_per_call);
@@ -157,5 +188,14 @@ int main(int argc, char** argv) {
   std::cout << "\n(Remote readers hold the commit window open across the "
                "interconnect and trip\n writers; the 3.4.1 fix converts "
                "trips into stalls and restores ~1 attempt/call.)\n";
+  if (!opts.json_path.empty()) {
+    report.add_table("numa_ablation", table);
+    if (!report.write(opts.json_path)) return 1;
+  }
+  if (!opts.trace_path.empty()) {
+    // Traced cell: remote readers, fix off — the cross-socket trip pattern.
+    run(/*writers=*/1, /*readers=*/2, /*remote_readers=*/true, /*fix=*/false,
+        ops, opts.seed, opts.trace_path);
+  }
   return 0;
 }

@@ -15,10 +15,9 @@ int main(int argc, char** argv) {
   using namespace sbq;
   using namespace sbq::bench;
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const simq::Value ops = opts.ops == 0 ? 200 : opts.ops;
-  const int repeats = opts.repeats == 0 ? 2 : opts.repeats;
-  const std::vector<int> totals =
-      opts.threads.empty() ? std::vector<int>{8, 16, 32, 64, 88} : opts.threads;
+  const simq::Value ops = opts.ops_or(200);
+  const int repeats = opts.repeats_or(2);
+  const std::vector<int> totals = opts.threads_or({8, 16, 32, 64, 88});
 
   std::cout << "# 3.4.1 ablation: SBQ-HTM mixed workload, uarch fix off/on ("
             << ops << " ops/thread)\n";
@@ -29,31 +28,54 @@ int main(int argc, char** argv) {
   for (int total : totals) {
     if (total / 2 >= 1) rows.push_back(total);
   }
+  BenchReport report("ablation_uarch_fix");
+  report.set_sweep_config(opts, rows, ops, repeats);
+  report.set("ns_per_cycle", Json(ns_per_cycle()));
   const std::size_t nrep = static_cast<std::size_t>(repeats);
   const std::size_t cells_per_row = nrep * 2;  // (repeat, fix off/on)
+  auto make = [&](int total, int repeat, bool fix) {
+    const int half = total / 2;
+    sim::MachineConfig mcfg;
+    mcfg.cores = total;
+    mcfg.sockets = 2;
+    mcfg.uarch_fix = fix;
+    WorkloadSpec spec;
+    spec.kind = Workload::kMixed;
+    spec.producers = half;
+    spec.consumers = half;
+    spec.ops_per_thread = ops;
+    spec.prefill = static_cast<simq::Value>(half) * ops / 2;
+    spec.seed = opts.seed + static_cast<std::uint64_t>(repeat) * 7919;
+    return std::pair(mcfg, spec);
+  };
   std::vector<SimRunResult> results(rows.size() * cells_per_row);
   run_sweep_cells(
       rows.size(), cells_per_row, opts.effective_jobs(),
       [&](std::size_t i) {
         const int total = rows[i / cells_per_row];
-        const int half = total / 2;
-        const std::uint64_t r = (i % cells_per_row) / 2;
+        const int r = static_cast<int>((i % cells_per_row) / 2);
         const bool fix = (i % 2) != 0;
-        sim::MachineConfig mcfg;
-        mcfg.cores = total;
-        mcfg.sockets = 2;
-        mcfg.uarch_fix = fix;
-        WorkloadSpec spec;
-        spec.kind = Workload::kMixed;
-        spec.producers = half;
-        spec.consumers = half;
-        spec.ops_per_thread = ops;
-        spec.prefill = static_cast<simq::Value>(half) * ops / 2;
-        spec.seed = opts.seed + r * 7919;
+        const auto [mcfg, spec] = make(total, r, fix);
         results[i] = run_queue_workload(QueueKind::kSbqHtm, mcfg, spec);
       },
       [&](std::size_t row) {
         const int total = rows[row];
+        if (!opts.json_path.empty()) {
+          for (std::size_t c = 0; c < cells_per_row; ++c) {
+            const SimRunResult& res = results[row * cells_per_row + c];
+            Json cj = Json::object();
+            cj.set("threads", Json(total));
+            cj.set("uarch_fix", Json((c % 2) != 0));
+            cj.set("repeat", Json(static_cast<int>(c / 2)));
+            cj.set("enq_ops", Json(res.enq_ops));
+            cj.set("deq_ops", Json(res.deq_ops));
+            cj.set("enq_latency_ns", Json(res.enq_latency_ns(ns_per_cycle())));
+            cj.set("duration_cycles",
+                   Json(static_cast<std::uint64_t>(res.duration_cycles)));
+            cj.set("counters", metrics_to_json(res.metrics));
+            report.add_cell(std::move(cj));
+          }
+        }
         Summary enq_off, enq_on, dur_off, dur_on;
         for (std::size_t c = 0; c < cells_per_row; ++c) {
           const SimRunResult& res = results[row * cells_per_row + c];
@@ -73,5 +95,16 @@ int main(int argc, char** argv) {
                        enq_on.mean(), dur_off.mean(), dur_on.mean()});
       });
   table.print(std::cout, opts.csv);
+  if (!opts.json_path.empty()) {
+    report.add_table("uarch_fix_ablation", table);
+    if (!report.write(opts.json_path)) return 1;
+  }
+  if (!opts.trace_path.empty() && !rows.empty()) {
+    // Traced cell: smallest mixed workload with the fix off.
+    const auto [mcfg, spec] = make(rows.front(), 0, /*fix=*/false);
+    if (!write_traced_cell(opts.trace_path, QueueKind::kSbqHtm, mcfg, spec)) {
+      return 1;
+    }
+  }
   return 0;
 }

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "benchsupport/bench_report.hpp"
 #include "benchsupport/table.hpp"
 #include "sim/engine.hpp"
 
@@ -86,9 +87,13 @@ PhaseResult drive(sim::Engine& e, std::uint64_t ops, int width) {
 int main(int argc, char** argv) {
   using namespace sbq;
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const std::uint64_t ops = opts.ops == 0 ? 2'000'000 : opts.ops;
-  const int width = opts.threads.empty() ? 64 : opts.threads.front();
-  const int repeats = opts.repeats == 0 ? 2 : opts.repeats;
+  const std::uint64_t ops = opts.ops_or(2'000'000);
+  const int width = opts.first_thread_or(64);
+  const int repeats = opts.repeats_or(2);
+  BenchReport report("engine_microbench");
+  report.set_config("events_per_phase", Json(ops));
+  report.set_config("lanes", Json(width));
+  report.set_config("steady_phases", Json(repeats));
 
   std::cout << "# Engine microbench: schedule/run throughput and allocation "
                "behaviour\n# ("
@@ -100,17 +105,36 @@ int main(int argc, char** argv) {
   sim::Engine engine;
   for (int r = 0; r < repeats + 1; ++r) {
     const PhaseResult res = drive(engine, ops, width);
+    const std::string phase =
+        r == 0 ? "cold" : "steady-" + std::to_string(r);
     char rate[32], apev[32];
     std::snprintf(rate, sizeof rate, "%.2f", res.events_per_sec / 1e6);
     std::snprintf(apev, sizeof apev, "%.6f", res.allocs_per_event);
-    table.add_row({r == 0 ? "cold" : "steady-" + std::to_string(r),
-                   std::to_string(res.events), rate,
+    table.add_row({phase, std::to_string(res.events), rate,
                    std::to_string(res.slab_refills),
                    std::to_string(res.boxed_allocs), apev});
+    if (!opts.json_path.empty()) {
+      Json cj = Json::object();
+      cj.set("phase", Json(phase));
+      cj.set("events", Json(res.events));
+      cj.set("events_per_sec", Json(res.events_per_sec));
+      cj.set("slab_refills", Json(res.slab_refills));
+      cj.set("boxed_allocs", Json(res.boxed_allocs));
+      cj.set("allocs_per_event", Json(res.allocs_per_event));
+      report.add_cell(std::move(cj));
+    }
   }
   table.print(std::cout, opts.csv);
   std::cout << "\n(cold pays the slab/heap warm-up; every steady phase must "
                "report 0 slab\n refills and 0 boxed allocs — schedule() is "
                "allocation-free once warm.)\n";
+  if (!opts.json_path.empty()) {
+    report.add_table("phases", table);
+    if (!report.write(opts.json_path)) return 1;
+  }
+  if (!opts.trace_path.empty()) {
+    std::cerr << "engine_microbench: --trace ignored (no coherence machine "
+                 "in this bench)\n";
+  }
   return 0;
 }

@@ -10,9 +10,12 @@
 // Output columns: threads, FAA ns/op, TxCAS ns/op (and TxCAS success rate
 // for context; the paper plots only the latencies).
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 
+#include "benchsupport/bench_report.hpp"
+#include "benchsupport/metrics_json.hpp"
 #include "benchsupport/parallel_sweep.hpp"
 #include "benchsupport/sweep.hpp"
 #include "benchsupport/table.hpp"
@@ -66,9 +69,11 @@ Task<void> txcas_loop(Machine& m, int core, Addr x, Value ops,
 }
 
 double run_mode(bool txcas, int threads, Value ops, std::uint64_t seed,
-                double* success_rate) {
+                double* success_rate, sim::MetricsSnapshot* metrics = nullptr,
+                const std::string& trace_path = {}) {
   sim::MachineConfig mcfg;
   mcfg.cores = threads;
+  mcfg.record_trace = !trace_path.empty();
   Machine m(mcfg);
   const Addr x = m.alloc();
   auto st = std::make_shared<LoopStats>();
@@ -80,6 +85,15 @@ double run_mode(bool txcas, int threads, Value ops, std::uint64_t seed,
     }
   }
   m.run();
+  if (metrics != nullptr) *metrics = m.metrics();
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (out) {
+      m.trace().write_jsonl(out);
+    } else {
+      std::cerr << "--trace: cannot open " << trace_path << " for writing\n";
+    }
+  }
   if (success_rate != nullptr) {
     *success_rate = st->ops ? static_cast<double>(st->success) /
                                   static_cast<double>(st->ops)
@@ -94,10 +108,12 @@ double run_mode(bool txcas, int threads, Value ops, std::uint64_t seed,
 int main(int argc, char** argv) {
   using namespace sbq;
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const std::vector<int> threads =
-      opts.threads.empty() ? default_single_socket_sweep() : opts.threads;
-  const sim::Value ops = opts.ops == 0 ? 400 : opts.ops;
-  const int repeats = opts.repeats == 0 ? 3 : opts.repeats;
+  const std::vector<int> threads = opts.threads_or(default_single_socket_sweep());
+  const sim::Value ops = opts.ops_or(400);
+  const int repeats = opts.repeats_or(3);
+  BenchReport report("fig1_txcas_vs_faa");
+  report.set_sweep_config(opts, threads, ops, repeats);
+  report.set("ns_per_cycle", Json(ns_per_cycle()));
 
   std::cout << "# Figure 1: TxCAS vs. standard atomic operation latency\n"
             << "# single socket, one contended word, " << ops
@@ -110,6 +126,7 @@ int main(int argc, char** argv) {
   struct Cell {
     double ns = 0;
     double success_rate = 0;
+    sim::MetricsSnapshot metrics;
   };
   const std::size_t cells_per_row = static_cast<std::size_t>(repeats) * 2;
   std::vector<Cell> cells(threads.size() * cells_per_row);
@@ -122,9 +139,24 @@ int main(int argc, char** argv) {
         const std::uint64_t seed =
             opts.seed + static_cast<std::uint64_t>(r) * 977;
         Cell& c = cells[i];
-        c.ns = run_mode(txcas, t, ops, seed, txcas ? &c.success_rate : nullptr);
+        c.ns = run_mode(txcas, t, ops, seed, txcas ? &c.success_rate : nullptr,
+                        &c.metrics);
       },
       [&](std::size_t row) {
+        if (!opts.json_path.empty()) {
+          for (std::size_t i = row * cells_per_row;
+               i < (row + 1) * cells_per_row; ++i) {
+            const bool txcas = (i % 2) != 0;
+            Json cj = Json::object();
+            cj.set("threads", Json(threads[row]));
+            cj.set("mode", Json(txcas ? "txcas" : "faa"));
+            cj.set("repeat", Json(static_cast<int>((i % cells_per_row) / 2)));
+            cj.set("latency_ns", Json(cells[i].ns));
+            cj.set("success_rate", Json(cells[i].success_rate));
+            cj.set("counters", metrics_to_json(cells[i].metrics));
+            report.add_cell(std::move(cj));
+          }
+        }
         Summary faa, txc, rate;
         for (int r = 0; r < repeats; ++r) {
           const std::size_t base =
@@ -137,5 +169,14 @@ int main(int argc, char** argv) {
                        txc.mean(), rate.mean()});
       });
   table.print(std::cout, opts.csv);
+  if (!opts.json_path.empty()) {
+    report.add_table("latency", table);
+    if (!report.write(opts.json_path)) return 1;
+  }
+  if (!opts.trace_path.empty()) {
+    // Traced cell: the TxCAS mode at the first thread count, repeat 0.
+    run_mode(/*txcas=*/true, threads.front(), ops, opts.seed, nullptr, nullptr,
+             opts.trace_path);
+  }
   return 0;
 }

@@ -16,11 +16,14 @@
 // the post-abort delay and value re-check that follow a loser's abort are
 // TxCAS bookkeeping, not coherence serialization.
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "benchsupport/bench_report.hpp"
+#include "benchsupport/metrics_json.hpp"
 #include "benchsupport/parallel_sweep.hpp"
 #include "benchsupport/sweep.hpp"
 #include "benchsupport/table.hpp"
@@ -40,9 +43,10 @@ struct Round {
   std::uint64_t fwd_getm = 0;
   std::uint64_t invalidations = 0;
   std::uint64_t getm = 0;
+  sim::MetricsSnapshot metrics;
 };
 
-Round run_round(int cores, bool htm) {
+Round run_round(int cores, bool htm, const std::string& trace_path = {}) {
   sim::MachineConfig mcfg;
   mcfg.cores = cores;
   mcfg.record_trace = true;
@@ -102,6 +106,17 @@ Round run_round(int cores, bool htm) {
   r.fwd_getm = stats_after.fwd_getm - stats_before.fwd_getm;
   r.invalidations = stats_after.invalidations - stats_before.invalidations;
   r.getm = stats_after.getm - stats_before.getm;
+  r.metrics = m.metrics();
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (out) {
+      // The warm-up was cleared above, so this is exactly the CAS round's
+      // coherence event stream (the worked example in docs/observability.md).
+      m.trace().write_jsonl(out);
+    } else {
+      std::cerr << "--trace: cannot open " << trace_path << " for writing\n";
+    }
+  }
   return r;
 }
 
@@ -117,7 +132,7 @@ double spread(const Round& r) {
 int main(int argc, char** argv) {
   using namespace sbq;
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const int cores = opts.threads.empty() ? 8 : opts.threads.front();
+  const int cores = opts.first_thread_or(8);
 
   std::cout << "# Figure 2: coherence dynamics of one contended CAS round ("
             << cores << " cores, all\n# starting from Shared state). "
@@ -155,5 +170,26 @@ int main(int argc, char** argv) {
                "grows with the core\n count, one Fwd-GetM hand-off per loser. "
                "2b: all losers abort on the winner's\n back-to-back "
                "invalidations — near-zero spread.)\n";
+  if (!opts.json_path.empty()) {
+    BenchReport report("fig2_coherence_dynamics");
+    report.set_config("seed", Json(static_cast<std::uint64_t>(opts.seed)));
+    report.set_config("cores", Json(cores));
+    report.set("ns_per_cycle", Json(ns_per_cycle()));
+    report.add_table("per_core_resolution_ns", table);
+    report.add_table("summary", sum);
+    const char* names[2] = {"standard_cas", "htm_cas"};
+    for (std::size_t i = 0; i < 2; ++i) {
+      Json cj = Json::object();
+      cj.set("mode", Json(names[i]));
+      cj.set("resolution_spread_ns", Json(spread(rounds[i])));
+      cj.set("counters", metrics_to_json(rounds[i].metrics));
+      report.add_cell(std::move(cj));
+    }
+    if (!report.write(opts.json_path)) return 1;
+  }
+  if (!opts.trace_path.empty()) {
+    // Worked trace example (docs/observability.md): the HTM round's events.
+    run_round(cores, /*htm=*/true, opts.trace_path);
+  }
   return 0;
 }

@@ -8,10 +8,13 @@
 //   * whether the writer was tripped (aborted by the Fwd-GetS),
 //   * the writer's total TxCAS latency,
 //   * how many transactional attempts the writer needed.
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <vector>
 
+#include "benchsupport/bench_report.hpp"
+#include "benchsupport/metrics_json.hpp"
 #include "benchsupport/parallel_sweep.hpp"
 #include "benchsupport/sweep.hpp"
 #include "benchsupport/table.hpp"
@@ -31,13 +34,16 @@ struct Outcome {
   std::uint64_t stalled = 0;
   std::uint64_t attempts = 0;
   double writer_latency_ns = 0;
+  sim::MetricsSnapshot metrics;
 };
 
-Outcome run_scenario(Time reader_offset, bool fix) {
+Outcome run_scenario(Time reader_offset, bool fix,
+                     const std::string& trace_path = {}) {
   sim::MachineConfig mcfg;
   mcfg.cores = 10;
   mcfg.sockets = 2;  // cores 0-4 socket 0, cores 5-9 socket 1
   mcfg.uarch_fix = fix;
+  mcfg.record_trace = !trace_path.empty();
   Machine m(mcfg);
   const Addr x = m.alloc();
 
@@ -75,6 +81,15 @@ Outcome run_scenario(Time reader_offset, bool fix) {
   o.attempts = m.core(0).stats().txcas_attempts;
   o.writer_latency_ns =
       static_cast<double>(*done_at - *started_at) * ns_per_cycle();
+  o.metrics = m.metrics();
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (out) {
+      m.trace().write_jsonl(out);
+    } else {
+      std::cerr << "--trace: cannot open " << trace_path << " for writing\n";
+    }
+  }
   return o;
 }
 
@@ -116,5 +131,32 @@ int main(int argc, char** argv) {
   std::cout << "\n(Offsets that land the Fwd-GetS inside the commit window "
                "trip the writer\n without the fix; with the fix the forward "
                "is stalled and the writer commits\n on its first attempt.)\n";
+  if (!opts.json_path.empty()) {
+    BenchReport report("fig3_tripped_writer");
+    report.set_config("seed", Json(static_cast<std::uint64_t>(opts.seed)));
+    Json joff = Json::array();
+    for (Time t : offsets) joff.push_back(Json(static_cast<std::uint64_t>(t)));
+    report.set_config("reader_offsets_cycles", std::move(joff));
+    report.set("ns_per_cycle", Json(ns_per_cycle()));
+    report.add_table("tripped_writer", table);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      Json cj = Json::object();
+      cj.set("reader_offset_cycles",
+             Json(static_cast<std::uint64_t>(offsets[i / 2])));
+      cj.set("uarch_fix", Json((i % 2) != 0));
+      cj.set("tripped", Json(outcomes[i].tripped));
+      cj.set("uarch_fix_stalls", Json(outcomes[i].stalled));
+      cj.set("writer_attempts", Json(outcomes[i].attempts));
+      cj.set("writer_latency_ns", Json(outcomes[i].writer_latency_ns));
+      cj.set("counters", metrics_to_json(outcomes[i].metrics));
+      report.add_cell(std::move(cj));
+    }
+    if (!report.write(opts.json_path)) return 1;
+  }
+  if (!opts.trace_path.empty()) {
+    // Traced cell: an offset known to land inside the commit window, fix
+    // off — the §3.4 tripped-writer timeline (docs/protocol.md §3.4.1).
+    run_scenario(/*reader_offset=*/180, /*fix=*/false, opts.trace_path);
+  }
   return 0;
 }

@@ -17,11 +17,13 @@ int main(int argc, char** argv) {
   using namespace sbq;
   using namespace sbq::bench;
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const std::vector<int> threads =
-      opts.threads.empty() ? default_single_socket_sweep() : opts.threads;
-  const simq::Value ops = opts.ops == 0 ? 200 : opts.ops;
-  const int repeats = opts.repeats == 0 ? 2 : opts.repeats;
+  const std::vector<int> threads = opts.threads_or(default_single_socket_sweep());
+  const simq::Value ops = opts.ops_or(200);
+  const int repeats = opts.repeats_or(2);
   const std::vector<QueueKind>& queues = evaluated_queue_kinds();
+  BenchReport report("fig5_enqueue");
+  report.set_sweep_config(opts, threads, ops, repeats);
+  report.set("ns_per_cycle", Json(ns_per_cycle()));
 
   std::cout << "# Figure 5: enqueue-only latency & throughput "
             << "(single socket, empty queue, " << ops << " ops/thread, "
@@ -36,19 +38,22 @@ int main(int argc, char** argv) {
     std::cout << "\n## Enqueue latency [ns/op] (lower is better)\n";
     lat_table.stream_to(std::cout);
   }
+  auto make = [&](int t, int repeat) {
+    sim::MachineConfig mcfg;
+    mcfg.cores = t;
+    WorkloadSpec spec;
+    spec.kind = Workload::kProducerOnly;
+    spec.producers = t;
+    spec.ops_per_thread = ops;
+    spec.seed = opts.seed + static_cast<std::uint64_t>(repeat) * 7919;
+    return std::pair(mcfg, spec);
+  };
   run_queue_sweep(
-      threads, queues, repeats, opts.effective_jobs(),
-      [&](int t, int repeat) {
-        sim::MachineConfig mcfg;
-        mcfg.cores = t;
-        WorkloadSpec spec;
-        spec.kind = Workload::kProducerOnly;
-        spec.producers = t;
-        spec.ops_per_thread = ops;
-        spec.seed = opts.seed + static_cast<std::uint64_t>(repeat) * 7919;
-        return std::pair(mcfg, spec);
-      },
+      threads, queues, repeats, opts.effective_jobs(), make,
       [&](std::size_t row, const QueueSweepResults& res) {
+        if (!opts.json_path.empty()) {
+          add_row_cells(report, row, threads[row], queues, res, ns_per_cycle());
+        }
         std::vector<double> lat_row{static_cast<double>(threads[row])};
         std::vector<double> thr_row{static_cast<double>(threads[row])};
         for (std::size_t q = 0; q < queues.size(); ++q) {
@@ -71,5 +76,16 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n## Total throughput [Mop/s] (higher is better)\n";
   thr_table.print(std::cout, opts.csv);
+  if (!opts.json_path.empty()) {
+    report.add_table("enq_latency_ns", lat_table);
+    report.add_table("throughput_mops", thr_table);
+    if (!report.write(opts.json_path)) return 1;
+  }
+  if (!opts.trace_path.empty()) {
+    const auto [mcfg, spec] = make(threads.front(), 0);
+    if (!write_traced_cell(opts.trace_path, queues.front(), mcfg, spec)) {
+      return 1;
+    }
+  }
   return 0;
 }

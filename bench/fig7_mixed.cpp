@@ -18,13 +18,15 @@ int main(int argc, char** argv) {
   using namespace sbq;
   using namespace sbq::bench;
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  std::vector<int> threads =
-      opts.threads.empty() ? default_dual_socket_sweep() : opts.threads;
+  std::vector<int> threads = opts.threads_or(default_dual_socket_sweep());
   // The mixed workload needs at least one producer and one consumer.
   std::erase_if(threads, [](int total) { return total / 2 < 1; });
-  const simq::Value ops = opts.ops == 0 ? 200 : opts.ops;
-  const int repeats = opts.repeats == 0 ? 2 : opts.repeats;
+  const simq::Value ops = opts.ops_or(200);
+  const int repeats = opts.repeats_or(2);
   const std::vector<QueueKind>& queues = evaluated_queue_kinds();
+  BenchReport report("fig7_mixed");
+  report.set_sweep_config(opts, threads, ops, repeats);
+  report.set("ns_per_cycle", Json(ns_per_cycle()));
 
   std::cout << "# Figure 7: mixed workload normalized duration (producers on "
             << "socket 0, consumers on socket 1, " << ops
@@ -35,23 +37,26 @@ int main(int argc, char** argv) {
     std::cout << "\n## Normalized duration [ns/op] (lower is better)\n";
     table.stream_to(std::cout);
   }
+  auto make = [&](int total, int repeat) {
+    const int half = total / 2;
+    sim::MachineConfig mcfg;
+    mcfg.cores = total;
+    mcfg.sockets = 2;
+    WorkloadSpec spec;
+    spec.kind = Workload::kMixed;
+    spec.producers = half;
+    spec.consumers = half;
+    spec.ops_per_thread = ops;
+    spec.prefill = static_cast<simq::Value>(half) * ops / 2;
+    spec.seed = opts.seed + static_cast<std::uint64_t>(repeat) * 7919;
+    return std::pair(mcfg, spec);
+  };
   run_queue_sweep(
-      threads, queues, repeats, opts.effective_jobs(),
-      [&](int total, int repeat) {
-        const int half = total / 2;
-        sim::MachineConfig mcfg;
-        mcfg.cores = total;
-        mcfg.sockets = 2;
-        WorkloadSpec spec;
-        spec.kind = Workload::kMixed;
-        spec.producers = half;
-        spec.consumers = half;
-        spec.ops_per_thread = ops;
-        spec.prefill = static_cast<simq::Value>(half) * ops / 2;
-        spec.seed = opts.seed + static_cast<std::uint64_t>(repeat) * 7919;
-        return std::pair(mcfg, spec);
-      },
+      threads, queues, repeats, opts.effective_jobs(), make,
       [&](std::size_t row, const QueueSweepResults& res) {
+        if (!opts.json_path.empty()) {
+          add_row_cells(report, row, threads[row], queues, res, ns_per_cycle());
+        }
         const int total = threads[row];
         std::vector<double> out{static_cast<double>(total)};
         for (std::size_t q = 0; q < queues.size(); ++q) {
@@ -71,6 +76,16 @@ int main(int argc, char** argv) {
   if (opts.csv) {
     std::cout << "\n## Normalized duration [ns/op] (lower is better)\n";
     table.print(std::cout, opts.csv);
+  }
+  if (!opts.json_path.empty()) {
+    report.add_table("normalized_duration_ns", table);
+    if (!report.write(opts.json_path)) return 1;
+  }
+  if (!opts.trace_path.empty() && !threads.empty()) {
+    const auto [mcfg, spec] = make(threads.front(), 0);
+    if (!write_traced_cell(opts.trace_path, queues.front(), mcfg, spec)) {
+      return 1;
+    }
   }
   return 0;
 }

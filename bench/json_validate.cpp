@@ -1,0 +1,130 @@
+// Bench-artifact validator: runs a bench driver command, then parses the
+// JSON artifact it wrote and checks it against the sbq.bench/1 schema
+// (docs/observability.md "BENCH_*.json"). Used by the `bench_json_*` ctest
+// entries so every driver's --json output stays machine-readable.
+//
+// Usage:
+//   json_validate FILE [--schema sbq.bench/1] [--min-cells N] -- CMD ARGS...
+//
+// Exit status: 0 if CMD succeeded and FILE parses and conforms; 1 otherwise.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchsupport/bench_report.hpp"
+#include "benchsupport/json.hpp"
+
+namespace {
+
+int fail(const std::string& why) {
+  std::cerr << "json_validate: " << why << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using sbq::Json;
+  std::string file;
+  std::string schema = sbq::BenchReport::kSchema;
+  long min_cells = 0;
+  std::vector<std::string> cmd;
+  bool after_dashes = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (after_dashes) {
+      cmd.push_back(a);
+    } else if (a == "--") {
+      after_dashes = true;
+    } else if (a == "--schema" && i + 1 < argc) {
+      schema = argv[++i];
+    } else if (a == "--min-cells" && i + 1 < argc) {
+      min_cells = std::strtol(argv[++i], nullptr, 10);
+    } else if (file.empty()) {
+      file = a;
+    } else {
+      return fail("unexpected argument: " + a);
+    }
+  }
+  if (file.empty() || cmd.empty()) {
+    return fail(
+        "usage: json_validate FILE [--schema S] [--min-cells N] -- CMD...");
+  }
+
+  std::string cmdline;
+  for (const std::string& part : cmd) {
+    if (!cmdline.empty()) cmdline += ' ';
+    cmdline += part;
+  }
+  const int rc = std::system(cmdline.c_str());
+  if (rc != 0) {
+    return fail("driver command failed (" + std::to_string(rc) +
+                "): " + cmdline);
+  }
+
+  std::ifstream in(file);
+  if (!in) return fail("artifact not written: " + file);
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  Json root;
+  try {
+    root = Json::parse(buf.str());
+  } catch (const std::exception& e) {
+    return fail("artifact is not valid JSON: " + std::string(e.what()));
+  }
+
+  // sbq.bench/1 required shape. Json accessors throw on type mismatch;
+  // treat that as a schema violation, not a crash.
+  try {
+  if (root.type() != Json::Type::kObject) return fail("root is not an object");
+  if (!root["schema"].is_string() || root["schema"].as_string() != schema) {
+    return fail("schema mismatch: expected \"" + schema + "\"");
+  }
+  if (root["bench"].type() != Json::Type::kString ||
+      root["bench"].as_string().empty()) {
+    return fail("missing or empty \"bench\" name");
+  }
+  if (root["config"].type() != Json::Type::kObject) {
+    return fail("missing \"config\" object");
+  }
+  if (root["tables"].type() != Json::Type::kObject) {
+    return fail("missing \"tables\" object");
+  }
+  for (const auto& [name, table] : root["tables"].items()) {
+    if (table["columns"].type() != Json::Type::kArray ||
+        table["columns"].size() == 0) {
+      return fail("table \"" + name + "\" has no columns");
+    }
+    if (table["rows"].type() != Json::Type::kArray) {
+      return fail("table \"" + name + "\" has no rows array");
+    }
+    for (std::size_t r = 0; r < table["rows"].size(); ++r) {
+      if (table["rows"].at(r).size() != table["columns"].size()) {
+        return fail("table \"" + name + "\" row " + std::to_string(r) +
+                    " width != column count");
+      }
+    }
+  }
+  if (root["cells"].type() != Json::Type::kArray) {
+    return fail("missing \"cells\" array");
+  }
+  if (static_cast<long>(root["cells"].size()) < min_cells) {
+    return fail("expected at least " + std::to_string(min_cells) +
+                " cells, got " + std::to_string(root["cells"].size()));
+  }
+  for (std::size_t i = 0; i < root["cells"].size(); ++i) {
+    if (root["cells"].at(i).type() != Json::Type::kObject) {
+      return fail("cell " + std::to_string(i) + " is not an object");
+    }
+  }
+  std::cout << "json_validate: " << file << " ok (" << root["cells"].size()
+            << " cells, " << root["tables"].size() << " tables)\n";
+  } catch (const std::exception& e) {
+    return fail("artifact violates " + schema + ": " + e.what());
+  }
+  return 0;
+}

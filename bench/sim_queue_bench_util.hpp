@@ -9,12 +9,16 @@
 #pragma once
 
 #include <cstddef>
+#include <fstream>
 #include <functional>
+#include <iostream>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "benchsupport/bench_report.hpp"
+#include "benchsupport/metrics_json.hpp"
 #include "benchsupport/parallel_sweep.hpp"
 #include "benchsupport/sim_workload.hpp"
 #include "simqueue/sim_baskets_queue.hpp"
@@ -109,11 +113,15 @@ SimRunResult run_spec(sim::Machine& m, QueueT& q, const WorkloadSpec& spec,
   throw std::logic_error("bad workload");
 }
 
-inline SimRunResult run_queue_workload(QueueKind kind,
-                                       const sim::MachineConfig& mcfg,
-                                       const WorkloadSpec& spec) {
+// `post_run`, when set, is called with the machine after the workload
+// completes (and before it is torn down) — used by --trace to export the
+// event ring of a representative cell.
+inline SimRunResult run_queue_workload(
+    QueueKind kind, const sim::MachineConfig& mcfg, const WorkloadSpec& spec,
+    const std::function<void(sim::Machine&)>& post_run = {}) {
   sim::Machine m(mcfg);
   const int single_space_offset = spec.producers;
+  SimRunResult result;
   switch (kind) {
     case QueueKind::kSbqHtm:
     case QueueKind::kSbqCas: {
@@ -124,27 +132,33 @@ inline SimRunResult run_queue_workload(QueueKind kind,
       qc.variant = kind == QueueKind::kSbqHtm ? simq::SbqVariant::kHtm
                                               : simq::SbqVariant::kCas;
       simq::SimSbq q(m, qc);
-      return run_spec(m, q, spec, /*consumer_id_offset=*/0);
+      result = run_spec(m, q, spec, /*consumer_id_offset=*/0);
+      break;
     }
     case QueueKind::kWfQueue: {
       simq::SimFaaQueue q(m, {});
-      return run_spec(m, q, spec, single_space_offset);
+      result = run_spec(m, q, spec, single_space_offset);
+      break;
     }
     case QueueKind::kBqOriginal: {
       simq::SimBasketsQueue q(m, {});
       q.set_dequeuers(spec.producers + spec.consumers + 1);
-      return run_spec(m, q, spec, single_space_offset);
+      result = run_spec(m, q, spec, single_space_offset);
+      break;
     }
     case QueueKind::kCcQueue: {
       simq::SimCcQueue q(m, {.threads = spec.producers + spec.consumers + 1});
-      return run_spec(m, q, spec, single_space_offset);
+      result = run_spec(m, q, spec, single_space_offset);
+      break;
     }
     case QueueKind::kMsQueue: {
       simq::SimMsQueue q(m, {});
-      return run_spec(m, q, spec, single_space_offset);
+      result = run_spec(m, q, spec, single_space_offset);
+      break;
     }
   }
-  throw std::logic_error("bad QueueKind");
+  if (post_run) post_run(m);
+  return result;
 }
 
 // Name-based shim for callers outside the sweep hot path (resolves the
@@ -194,6 +208,65 @@ void run_queue_sweep(const std::vector<int>& rows,
         res.cells[i] = run_queue_workload(queues[queue], mcfg, spec);
       },
       [&](std::size_t row) { row_done(row, res); });
+}
+
+// ---------------------------------------------------------------------------
+// --json / --trace support shared by the figure drivers
+// (schema "sbq.bench/1"; see docs/observability.md).
+// ---------------------------------------------------------------------------
+
+// One per-cell record of the standard (threads × queue × repeat) grid:
+// the cell's coordinates, its latency/throughput measurements, and the
+// machine's counter snapshot.
+inline Json queue_cell_json(int threads, QueueKind kind, int repeat,
+                            const SimRunResult& r, double ns_per_cycle) {
+  Json c = Json::object();
+  c.set("threads", Json(threads));
+  c.set("queue", Json(queue_kind_name(kind)));
+  c.set("repeat", Json(repeat));
+  c.set("enq_ops", Json(r.enq_ops));
+  c.set("deq_ops", Json(r.deq_ops));
+  c.set("enq_latency_ns", Json(r.enq_latency_ns(ns_per_cycle)));
+  c.set("deq_latency_ns", Json(r.deq_latency_ns(ns_per_cycle)));
+  c.set("throughput_mops", Json(r.throughput_mops(ns_per_cycle)));
+  c.set("duration_cycles", Json(r.duration_cycles));
+  c.set("counters", metrics_to_json(r.metrics));
+  return c;
+}
+
+// Append one finished row's cells to the report in (queue, repeat) order.
+// Called from row_done (rows arrive in order), so the artifact's cell order
+// is deterministic regardless of --jobs.
+inline void add_row_cells(BenchReport& report, std::size_t row, int threads,
+                          const std::vector<QueueKind>& queues,
+                          const QueueSweepResults& res, double ns_per_cycle) {
+  for (std::size_t q = 0; q < queues.size(); ++q) {
+    for (std::size_t r = 0; r < res.repeats; ++r) {
+      report.add_cell(queue_cell_json(threads, queues[q], static_cast<int>(r),
+                                      res.at(row, q, r), ns_per_cycle));
+    }
+  }
+}
+
+// --trace: re-run one representative cell with the event ring enabled and
+// write its JSONL trace to `path`. Returns false on I/O failure.
+inline bool write_traced_cell(const std::string& path, QueueKind kind,
+                              sim::MachineConfig mcfg,
+                              const WorkloadSpec& spec) {
+  if (path.empty()) return true;
+  mcfg.record_trace = true;
+  bool ok = false;
+  run_queue_workload(kind, mcfg, spec, [&](sim::Machine& m) {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "--trace: cannot open " << path << " for writing\n";
+      return;
+    }
+    m.trace().write_jsonl(out);
+    out.flush();
+    ok = static_cast<bool>(out);
+  });
+  return ok;
 }
 
 }  // namespace sbq::bench

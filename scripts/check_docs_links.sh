@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Fails (exit 1) if any markdown file in the repo contains a relative link
+# to a file that does not exist. Absolute URLs (http/https/mailto) and
+# pure in-page anchors (#...) are ignored; a link's own #fragment is
+# stripped before the existence check.
+#
+# Usage: scripts/check_docs_links.sh [repo_root]
+# Registered as the `docs_links` ctest (label: docs).
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root" || exit 1
+
+fail=0
+checked=0
+
+# All tracked/normal markdown files, excluding build trees.
+while IFS= read -r md; do
+  dir=$(dirname "$md")
+  # Extract inline markdown link targets: [text](target)
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;  # external
+      \#*) continue ;;                          # in-page anchor
+    esac
+    # Strip a trailing #fragment and surrounding whitespace.
+    path="${target%%#*}"
+    path="$(printf '%s' "$path" | sed 's/^ *//; s/ *$//')"
+    [ -z "$path" ] && continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$path" ] && [ ! -e "$root/$path" ]; then
+      echo "DEAD LINK: $md -> $target" >&2
+      fail=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$md" 2>/dev/null \
+             | sed 's/^\[[^]]*\](//; s/)$//')
+done < <(find . -name '*.md' -not -path './build*' -not -path './.git/*')
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs_links: dead relative links found" >&2
+  exit 1
+fi
+echo "check_docs_links: $checked relative links ok"

@@ -1,0 +1,398 @@
+#include "benchsupport/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sbq {
+
+Json Json::array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) throw std::runtime_error("Json: not a bool");
+  return bool_;
+}
+
+double Json::as_double() const {
+  if (type_ != Type::kNumber) throw std::runtime_error("Json: not a number");
+  return num_;
+}
+
+std::int64_t Json::as_int() const {
+  if (type_ != Type::kNumber) throw std::runtime_error("Json: not a number");
+  return static_cast<std::int64_t>(num_);
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) throw std::runtime_error("Json: not a string");
+  return str_;
+}
+
+void Json::push_back(Json v) {
+  if (type_ != Type::kArray) throw std::runtime_error("Json: not an array");
+  arr_.push_back(std::move(v));
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::kArray) return arr_.size();
+  if (type_ == Type::kObject) return obj_.size();
+  throw std::runtime_error("Json: size() on a scalar");
+}
+
+const Json& Json::at(std::size_t i) const {
+  if (type_ != Type::kArray) throw std::runtime_error("Json: not an array");
+  return arr_.at(i);
+}
+
+void Json::set(const std::string& key, Json v) {
+  if (type_ != Type::kObject) throw std::runtime_error("Json: not an object");
+  for (auto& kv : obj_) {
+    if (kv.first == key) {
+      kv.second = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+}
+
+bool Json::contains(const std::string& key) const {
+  if (type_ != Type::kObject) return false;
+  for (const auto& kv : obj_) {
+    if (kv.first == key) return true;
+  }
+  return false;
+}
+
+const Json& Json::operator[](const std::string& key) const {
+  static const Json kNull;
+  if (type_ != Type::kObject) return kNull;
+  for (const auto& kv : obj_) {
+    if (kv.first == key) return kv.second;
+  }
+  return kNull;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::items() const {
+  if (type_ != Type::kObject) throw std::runtime_error("Json: not an object");
+  return obj_;
+}
+
+namespace {
+
+void write_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_number(std::ostream& os, double v, bool integer) {
+  if (!std::isfinite(v)) {
+    os << "null";  // JSON has no NaN/Inf; absent beats malformed
+    return;
+  }
+  char buf[40];
+  if (integer) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    // %.17g round-trips any double; trim to %g when it is exact.
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+  }
+  os << buf;
+}
+
+void indent_to(std::ostream& os, int indent, int depth) {
+  if (indent < 0) return;
+  os << '\n';
+  for (int i = 0; i < indent * depth; ++i) os << ' ';
+}
+
+}  // namespace
+
+void Json::write_impl(std::ostream& os, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull: os << "null"; return;
+    case Type::kBool: os << (bool_ ? "true" : "false"); return;
+    case Type::kNumber: write_number(os, num_, integer_); return;
+    case Type::kString: write_string(os, str_); return;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        os << "[]";
+        return;
+      }
+      os << '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i != 0) os << ',';
+        indent_to(os, indent, depth + 1);
+        arr_[i].write_impl(os, indent, depth + 1);
+      }
+      indent_to(os, indent, depth);
+      os << ']';
+      return;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        os << "{}";
+        return;
+      }
+      os << '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i != 0) os << ',';
+        indent_to(os, indent, depth + 1);
+        write_string(os, obj_[i].first);
+        os << (indent < 0 ? ":" : ": ");
+        obj_[i].second.write_impl(os, indent, depth + 1);
+      }
+      indent_to(os, indent, depth);
+      os << '}';
+      return;
+    }
+  }
+}
+
+void Json::write(std::ostream& os, int indent) const {
+  write_impl(os, indent, 0);
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream ss;
+  write(ss, indent);
+  return ss.str();
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("Json::parse: " + what + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Json(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      expect(':');
+      obj.set(key, parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Bench artifacts are ASCII; encode BMP code points as UTF-8.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+    fail("unterminated string");
+  }
+
+  Json parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    bool integer = true;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integer = false;
+      ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integer = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      fail("bad number");
+    }
+    const std::string tok = text_.substr(start, pos_ - start);
+    try {
+      const double v = std::stod(tok);
+      if (integer) {
+        return Json(static_cast<std::int64_t>(std::stoll(tok)));
+      }
+      return Json(v);
+    } catch (const std::exception&) {
+      fail("unparseable number");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace sbq

@@ -1,0 +1,84 @@
+// Minimal JSON value + writer + parser for the bench artifacts
+// (BENCH_*.json via BenchReport) and their validation in tests/CI.
+//
+// Deliberately small: the repo has no external dependencies, and the bench
+// schema (docs/observability.md) needs only the standard scalar types plus
+// arrays and objects. Objects preserve insertion order so the emitted
+// artifacts diff cleanly run-to-run. Numbers are stored as double with an
+// integer flag so counters round-trip without a trailing ".0".
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sbq {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double d) : type_(Type::kNumber), num_(d) {}
+  Json(int v) : type_(Type::kNumber), num_(v), integer_(true) {}
+  Json(std::int64_t v)
+      : type_(Type::kNumber), num_(static_cast<double>(v)), integer_(true) {}
+  Json(std::uint64_t v)
+      : type_(Type::kNumber), num_(static_cast<double>(v)), integer_(true) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+
+  static Json array();
+  static Json object();
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+
+  // Arrays.
+  void push_back(Json v);
+  std::size_t size() const;
+  const Json& at(std::size_t i) const;
+
+  // Objects (insertion-ordered; set() replaces an existing key in place).
+  void set(const std::string& key, Json v);
+  bool contains(const std::string& key) const;
+  // Null-object pattern: returns a shared null for absent keys so schema
+  // checks can chain lookups without exceptions.
+  const Json& operator[](const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& items() const;
+
+  // Compact on indent < 0, otherwise pretty-printed with `indent` spaces.
+  void write(std::ostream& os, int indent = 2) const;
+  std::string dump(int indent = 2) const;
+
+  // Strict recursive-descent parse of a full document; throws
+  // std::runtime_error (with byte offset) on malformed input.
+  static Json parse(const std::string& text);
+
+ private:
+  void write_impl(std::ostream& os, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0;
+  bool integer_ = false;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace sbq

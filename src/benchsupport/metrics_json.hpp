@@ -1,0 +1,62 @@
+// JSON encoding of a sim::MetricsSnapshot — the "counters" block every
+// per-cell record in a BENCH_*.json artifact carries (docs/observability.md
+// documents each field). Header-only so that non-sim binaries linking
+// sbq_benchsupport do not pull in the simulator.
+#pragma once
+
+#include "benchsupport/json.hpp"
+#include "sim/stats.hpp"
+
+namespace sbq {
+
+inline Json metrics_to_json(const sim::MetricsSnapshot& m) {
+  Json protocol = Json::object();
+  protocol.set("gets", Json(m.protocol.gets));
+  protocol.set("getm", Json(m.protocol.getm));
+  protocol.set("fwd_gets", Json(m.protocol.fwd_gets));
+  protocol.set("fwd_getm", Json(m.protocol.fwd_getm));
+  protocol.set("inv", Json(m.protocol.inv));
+  protocol.set("inv_ack", Json(m.protocol.inv_ack));
+  protocol.set("wb_data", Json(m.protocol.wb_data));
+
+  Json aborts = Json::object();
+  for (int c = 0; c < sim::kAbortCauseCount; ++c) {
+    aborts.set(sim::abort_cause_name(static_cast<sim::AbortCause>(c)),
+               Json(m.htm.aborts[static_cast<std::size_t>(c)]));
+  }
+  Json retry = Json::array();
+  for (std::uint64_t b : m.htm.retry_histogram) retry.push_back(Json(b));
+  Json htm = Json::object();
+  htm.set("calls", Json(m.htm.calls));
+  htm.set("attempts", Json(m.htm.attempts));
+  htm.set("commits", Json(m.htm.commits));
+  htm.set("aborts", std::move(aborts));
+  htm.set("fallbacks", Json(m.htm.fallbacks));
+  htm.set("uarch_fix_stalls", Json(m.htm.uarch_fix_stalls));
+  htm.set("retry_histogram", std::move(retry));
+
+  Json basket = Json::object();
+  basket.set("appends_won", Json(m.basket.appends_won));
+  basket.set("appends_lost", Json(m.basket.appends_lost));
+  basket.set("stale_tails", Json(m.basket.stale_tails));
+  basket.set("closes", Json(m.basket.closes));
+  basket.set("occupancy_sum", Json(m.basket.occupancy_sum));
+  basket.set("occupancy_min",
+             Json(m.basket.closes == 0 ? 0 : m.basket.occupancy_min));
+  basket.set("occupancy_max", Json(m.basket.occupancy_max));
+  basket.set("extracted", Json(m.basket.extracted));
+  basket.set("empty_swaps", Json(m.basket.empty_swaps));
+  basket.set("node_reuses", Json(m.basket.node_reuses));
+  basket.set("fresh_allocs", Json(m.basket.fresh_allocs));
+
+  Json out = Json::object();
+  out.set("protocol", std::move(protocol));
+  out.set("htm", std::move(htm));
+  out.set("basket", std::move(basket));
+  out.set("messages", Json(m.messages));
+  out.set("events", Json(m.events));
+  out.set("final_time", Json(static_cast<std::uint64_t>(m.final_time)));
+  return out;
+}
+
+}  // namespace sbq

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "common/rng.hpp"
+#include "sim/stats.hpp"
 #include "simqueue/sim_queue_base.hpp"
 
 namespace sbq::simq {
@@ -22,6 +23,9 @@ struct SimRunResult {
   double duration_cycles = 0;     // measured-phase wall time
   std::uint64_t enq_ops = 0;
   std::uint64_t deq_ops = 0;
+  // Machine counters at the end of the run (cumulative: for consumer-only
+  // and mixed runs this includes the un-measured pre-fill phase).
+  sim::MetricsSnapshot metrics;
 
   double enq_latency_ns(double ns_per_cycle) const {
     return enq_latency_cycles * ns_per_cycle;
@@ -100,6 +104,7 @@ SimRunResult run_producer_only(Machine& m, QueueT& q, int producers,
   r.enq_ops = acc->enq;
   r.enq_latency_cycles = acc->enq ? acc->enq_lat / static_cast<double>(acc->enq) : 0;
   r.duration_cycles = static_cast<double>(m.engine().now() - start);
+  r.metrics = m.metrics();
   return r;
 }
 
@@ -139,6 +144,7 @@ SimRunResult run_consumer_only(Machine& m, QueueT& q, int prefill_producers,
   r.deq_ops = acc->deq;
   r.deq_latency_cycles = acc->deq ? acc->deq_lat / static_cast<double>(acc->deq) : 0;
   r.duration_cycles = static_cast<double>(m.engine().now() - start);
+  r.metrics = m.metrics();
   return r;
 }
 
@@ -182,6 +188,7 @@ SimRunResult run_mixed(Machine& m, QueueT& q, int producers, int consumers,
   r.enq_latency_cycles = acc->enq ? acc->enq_lat / static_cast<double>(acc->enq) : 0;
   r.deq_latency_cycles = acc->deq ? acc->deq_lat / static_cast<double>(acc->deq) : 0;
   r.duration_cycles = static_cast<double>(m.engine().now() - start);
+  r.metrics = m.metrics();
   return r;
 }
 

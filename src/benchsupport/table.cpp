@@ -113,6 +113,14 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
       }
     } else if (std::strcmp(a, "--serial") == 0) {
       opts.serial = true;
+    } else if (std::strcmp(a, "--json") == 0) {
+      opts.json_path = next_value();
+    } else if (std::strncmp(a, "--json=", 7) == 0) {
+      opts.json_path = a + 7;
+    } else if (std::strcmp(a, "--trace") == 0) {
+      opts.trace_path = next_value();
+    } else if (std::strncmp(a, "--trace=", 8) == 0) {
+      opts.trace_path = a + 8;
     } else if (std::strcmp(a, "--threads") == 0) {
       const char* list = next_value();
       std::stringstream ss(list);

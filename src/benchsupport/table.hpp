@@ -30,6 +30,9 @@ class Table {
 
   std::size_t row_count() const noexcept { return rows_.size(); }
   const std::vector<std::string>& column_names() const noexcept { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
 
  private:
   void print_aligned_row(std::ostream& os, const std::vector<std::string>& row,
@@ -43,7 +46,8 @@ class Table {
 
 // Shared CLI parsing for bench binaries: recognizes --csv, --seed N,
 // --threads LIST (comma separated), --ops N, --repeats N, --jobs N,
-// --serial.
+// --serial, --json FILE (BenchReport artifact) and --trace FILE (JSONL
+// coherence-event trace); --json/--trace also accept the --opt=FILE form.
 struct BenchOptions {
   bool csv = false;
   unsigned long long seed = 42;
@@ -52,11 +56,26 @@ struct BenchOptions {
   int repeats = 0;                // 0 => binary default
   int jobs = 0;                   // 0 => default_sweep_jobs()
   bool serial = false;            // force single-threaded cell execution
+  std::string json_path;          // empty => no JSON artifact
+  std::string trace_path;         // empty => no event trace
   static BenchOptions parse(int argc, char** argv);
 
   // Worker threads for the sweep pool: 1 under --serial, --jobs N when
   // given, otherwise hardware_concurrency.
   int effective_jobs() const;
+
+  // Per-driver default fallbacks — the one place the "N means the binary's
+  // default" convention lives, instead of a drifted copy per driver.
+  unsigned long long ops_or(unsigned long long dflt) const {
+    return ops == 0 ? dflt : ops;
+  }
+  int repeats_or(int dflt) const { return repeats == 0 ? dflt : repeats; }
+  std::vector<int> threads_or(std::vector<int> dflt) const {
+    return threads.empty() ? std::move(dflt) : threads;
+  }
+  int first_thread_or(int dflt) const {
+    return threads.empty() ? dflt : threads.front();
+  }
 };
 
 }  // namespace sbq

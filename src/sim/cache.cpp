@@ -39,6 +39,7 @@ void Core::on_data(const Message& msg) {
 }
 
 void Core::on_inv_ack(const Message& msg) {
+  if (metrics_) metrics_->on_inv_ack(id_, msg.addr);
   auto it = pending_.find(msg.addr);
   assert(it != pending_.end() && "Inv-Ack with no pending request");
   Pending& p = it->second;
@@ -50,6 +51,7 @@ void Core::on_inv_ack(const Message& msg) {
 
 void Core::on_inv(const Message& msg) {
   const Addr a = msg.addr;
+  if (metrics_) metrics_->on_inv(id_, a);
   auto it = pending_.find(a);
   if (it != pending_.end() && !it->second.want_m && !it->second.got_data) {
     // Inv raced ahead of the data for our GetS (the data is coming from an
@@ -86,6 +88,7 @@ bool Core::fwd_predates_pending_request(Addr a, const Pending& p) const {
 
 void Core::on_fwd_gets(const Message& msg) {
   const Addr a = msg.addr;
+  if (metrics_) metrics_->on_fwd(id_, a, /*getm=*/false);
   auto it = pending_.find(a);
   if (it != pending_.end()) {
     if (fwd_predates_pending_request(a, it->second)) {
@@ -105,6 +108,7 @@ void Core::on_fwd_gets(const Message& msg) {
       // the conflicting request is a read — stall it until commit. (Safe:
       // the reader is not one of the sharers whose acks we are waiting on.)
       ++stats_.uarch_fix_stalls;
+      if (metrics_) metrics_->on_uarch_fix_stall(id_);
       if (trace_ && trace_->enabled()) {
         trace_->record(engine_.now(), id_, "uarch-fix stall Fwd-GetS", a,
                        msg.requester);
@@ -115,7 +119,7 @@ void Core::on_fwd_gets(const Message& msg) {
     if (txn_window) {
       // Tripped writer (§3.4): the read hit our commit window.
       ++stats_.tripped_aborts;
-      txcas_abort(/*kind=*/1);
+      txcas_abort(/*kind=*/1, AbortCause::kTrippedWriter);
     }
     if (fwd_predates_pending_request(a, it->second)) {
       // Ordered before our upgrade: serve from the valid Owned copy now.
@@ -130,6 +134,7 @@ void Core::on_fwd_gets(const Message& msg) {
 
 void Core::on_fwd_getm(const Message& msg) {
   const Addr a = msg.addr;
+  if (metrics_) metrics_->on_fwd(id_, a, /*getm=*/true);
   auto it = pending_.find(a);
   if (it != pending_.end()) {
     if (fwd_predates_pending_request(a, it->second)) {
@@ -159,7 +164,7 @@ void Core::answer_fwd_gets(const Message& msg) {
     // Rare hit-window case: transaction writing an already-owned line when
     // the read arrives. Requester-wins: abort (the commit had not applied).
     ++stats_.tripped_aborts;
-    txcas_abort(/*kind=*/1);
+    txcas_abort(/*kind=*/1, AbortCause::kTrippedWriter);
   }
   // Serve the reader and stay in Owned state (able to serve more readers)
   // while the write-back travels to the LLC; once it lands, the directory
@@ -171,6 +176,7 @@ void Core::answer_fwd_gets(const Message& msg) {
   Message data{MsgType::kData, a, id_, msg.requester, line.value, 0};
   net_.send(id_, msg.requester, data);
   if (first_downgrade) {
+    if (metrics_) metrics_->on_wb(id_, a);
     Message wb{MsgType::kWbData, a, id_, id_, line.value, 0};
     net_.send(id_, dir_, wb);
   }
@@ -196,12 +202,12 @@ void Core::maybe_txn_conflict_on_loss(Addr a, bool losing_all_permissions) {
     // lines 16–18). Fwd-GetS tripping is handled by on_fwd_gets; this path
     // covers Inv (another writer won while we were upgrading) and
     // Fwd-GetM on an owned line.
-    txcas_abort(/*kind=*/1);
+    txcas_abort(/*kind=*/1, AbortCause::kConflict);
     return;
   }
   if (txn_.read_marked && losing_all_permissions) {
     // Conflict in the nested (read) phase: Figure 2b's concurrent abort.
-    txcas_abort(/*kind=*/0);
+    txcas_abort(/*kind=*/0, AbortCause::kConflict);
   }
   // A downgrade (losing only write permission) does not disturb a reader.
 }

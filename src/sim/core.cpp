@@ -8,9 +8,9 @@
 namespace sbq::sim {
 
 Core::Core(CoreId id, Engine& engine, Interconnect& net,
-           const MachineConfig& cfg, Trace* trace)
+           const MachineConfig& cfg, Trace* trace, Stats* metrics)
     : id_(id), engine_(engine), net_(net), cfg_(cfg), trace_(trace),
-      dir_(net.directory_id()) {}
+      metrics_(metrics), dir_(net.directory_id()) {}
 
 Core::LineState Core::line_state(Addr a) const {
   auto it = lines_.find(a);
@@ -45,6 +45,7 @@ void Core::acquire(Addr a, bool want_m, std::function<void()> cont) {
 }
 
 void Core::issue_request(Addr a, bool want_m, std::function<void()> cont) {
+  if (metrics_) metrics_->on_request(id_, a, want_m);
   Pending p;
   p.want_m = want_m;
   p.on_complete = std::move(cont);
@@ -196,6 +197,7 @@ struct Core::TxCasOp {
 void Core::start_txcas(Addr a, Value expected, Value desired, TxCasConfig cfg,
                        std::function<void(bool)> done) {
   ++stats_.txcas_calls;
+  if (metrics_) metrics_->on_txcas_call(id_);
   auto op = std::make_shared<TxCasOp>();
   op->addr = a;
   op->expected = expected;
@@ -212,6 +214,7 @@ void Core::txcas_attempt(std::shared_ptr<TxCasOp> op) {
   }
   ++op->attempt;
   ++stats_.txcas_attempts;
+  if (metrics_) metrics_->on_txn_attempt(id_);
   txn_.active = true;
   txn_.in_write_phase = false;
   txn_.addr = op->addr;
@@ -243,6 +246,10 @@ void Core::txcas_on_read_ready(std::shared_ptr<TxCasOp> op) {
     // Self-abort (_xabort(1) in Algorithm 1): the CAS fails outright.
     ++stats_.self_aborts;
     ++stats_.txcas_fail;
+    if (metrics_) {
+      metrics_->on_txn_abort(id_, AbortCause::kExplicit);
+      metrics_->on_txcas_done(id_, op->attempt, false);
+    }
     txn_ = Txn{.token = txn_.token};
     txn_op_.reset();
     engine_.schedule(cfg_.hit_latency, [op] { op->done(false); });
@@ -307,6 +314,10 @@ void Core::txcas_commit(std::shared_ptr<TxCasOp> op) {
   // _xend: all transactional writes propagate to the cache.
   lines_.at(op->addr).value = op->desired;
   ++stats_.txcas_success;
+  if (metrics_) {
+    metrics_->on_txn_commit(id_);
+    metrics_->on_txcas_done(id_, op->attempt, true);
+  }
   txn_ = Txn{.token = txn_.token};
   txn_op_.reset();
   if (trace_ && trace_->enabled()) {
@@ -323,9 +334,10 @@ void Core::txcas_commit(std::shared_ptr<TxCasOp> op) {
 // Called from the protocol side when a conflicting message hits the
 // transaction's footprint. kind: 0 = conflict in the read/delay ("nested")
 // phase, 1 = conflict that tripped the write.
-void Core::txcas_abort(int kind) {
+void Core::txcas_abort(int kind, AbortCause cause) {
   assert(txn_.active);
   auto op = txn_op_;
+  if (metrics_) metrics_->on_txn_abort(id_, cause);
   txn_.active = false;
   txn_.read_marked = false;
   ++txn_.token;  // cancels any scheduled delay timer
@@ -354,6 +366,7 @@ void Core::txcas_post_abort(std::shared_ptr<TxCasOp> op) {
   start_load(op->addr, [this, op](Value v) {
     if (v != op->expected) {
       ++stats_.txcas_fail;
+      if (metrics_) metrics_->on_txcas_done(id_, op->attempt, false);
       op->done(false);
     } else {
       txcas_attempt(op);
@@ -363,6 +376,7 @@ void Core::txcas_post_abort(std::shared_ptr<TxCasOp> op) {
 
 void Core::txcas_fallback(std::shared_ptr<TxCasOp> op) {
   ++stats_.fallbacks;
+  if (metrics_) metrics_->on_txn_fallback(id_);
   start_rmw(Rmw::kCas, op->addr, op->expected, op->desired,
             [this, op](Value ok) {
     if (ok != 0) {
@@ -370,6 +384,7 @@ void Core::txcas_fallback(std::shared_ptr<TxCasOp> op) {
     } else {
       ++stats_.txcas_fail;
     }
+    if (metrics_) metrics_->on_txcas_done(id_, op->attempt, ok != 0);
     op->done(ok != 0);
   });
 }

@@ -34,6 +34,7 @@
 #include "sim/engine.hpp"
 #include "sim/interconnect.hpp"
 #include "sim/message.hpp"
+#include "sim/stats.hpp"
 #include "sim/types.hpp"
 
 namespace sbq::sim {
@@ -58,7 +59,7 @@ struct CoreStats {
 class Core {
  public:
   Core(CoreId id, Engine& engine, Interconnect& net, const MachineConfig& cfg,
-       Trace* trace);
+       Trace* trace, Stats* metrics = nullptr);
 
   Core(const Core&) = delete;
   Core& operator=(const Core&) = delete;
@@ -177,7 +178,9 @@ class Core {
   void txcas_on_read_ready(std::shared_ptr<TxCasOp> op);
   void txcas_enter_write(std::shared_ptr<TxCasOp> op);
   void txcas_commit(std::shared_ptr<TxCasOp> op);
-  void txcas_abort(int kind);  // called from message handling on conflicts
+  // Called from message handling on conflicts; `cause` attributes the abort
+  // in the metrics registry (kind 0 = read/delay phase, 1 = write phase).
+  void txcas_abort(int kind, AbortCause cause);
   void txcas_post_abort(std::shared_ptr<TxCasOp> op);
   void txcas_fallback(std::shared_ptr<TxCasOp> op);
 
@@ -199,6 +202,7 @@ class Core {
   Interconnect& net_;
   MachineConfig cfg_;
   Trace* trace_;
+  Stats* metrics_;  // machine-wide registry; may be null
   CoreId dir_;
 
   std::unordered_map<Addr, Line> lines_;

@@ -66,10 +66,13 @@ void Directory::process(const Message& msg) {
       // If a writer intervened (state no longer Owned with this owner), the
       // write-back is stale and dropped.
       if (line.state == LineState::kOwned && line.owner == msg.src) {
+        ++stats_.wb_accepted;
         line.value = msg.value;
         line.sharers.insert(line.owner);
         line.owner = -1;
         line.state = LineState::kShared;
+      } else {
+        ++stats_.wb_dropped;
       }
       return;
     default:

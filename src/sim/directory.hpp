@@ -59,6 +59,8 @@ class Directory {
     std::uint64_t invalidations = 0;
     std::uint64_t fwd_gets = 0;
     std::uint64_t fwd_getm = 0;
+    std::uint64_t wb_accepted = 0;  // owner write-back flipped the line O->S
+    std::uint64_t wb_dropped = 0;   // stale write-back (a writer intervened)
   };
   const Stats& stats() const noexcept { return stats_; }
 

@@ -4,17 +4,35 @@
 
 namespace sbq::sim {
 
-Machine::Machine(MachineConfig cfg) : cfg_(cfg), trace_(cfg.record_trace) {
+Machine::Machine(MachineConfig cfg)
+    : cfg_(cfg), trace_(cfg.record_trace, cfg.trace_capacity) {
+  if (cfg_.collect_stats) {
+    stats_ = std::make_unique<Stats>(cfg_.cores, cfg_.track_lines);
+  }
   net_ = std::make_unique<Interconnect>(engine_, cfg_, &trace_);
   directory_ = std::make_unique<Directory>(engine_, *net_, cfg_, &trace_);
   net_->set_handler(net_->directory_id(),
                     [this](const Message& m) { directory_->handle(m); });
   cores_.reserve(static_cast<std::size_t>(cfg_.cores));
   for (int i = 0; i < cfg_.cores; ++i) {
-    cores_.push_back(std::make_unique<Core>(i, engine_, *net_, cfg_, &trace_));
+    cores_.push_back(std::make_unique<Core>(i, engine_, *net_, cfg_, &trace_,
+                                            stats_.get()));
     Core* c = cores_.back().get();
     net_->set_handler(i, [c](const Message& m) { c->handle(m); });
   }
+}
+
+MetricsSnapshot Machine::metrics() const {
+  MetricsSnapshot snap;
+  if (stats_) {
+    snap.protocol = stats_->protocol();
+    snap.htm = stats_->htm();
+    snap.basket = stats_->basket();
+  }
+  snap.messages = net_->messages_sent();
+  snap.events = engine_.events_processed();
+  snap.final_time = engine_.now();
+  return snap;
 }
 
 Machine::~Machine() {

@@ -13,6 +13,7 @@
 #include "sim/directory.hpp"
 #include "sim/engine.hpp"
 #include "sim/interconnect.hpp"
+#include "sim/stats.hpp"
 #include "sim/trace.hpp"
 #include "sim/types.hpp"
 
@@ -28,6 +29,13 @@ class Machine {
 
   Engine& engine() noexcept { return engine_; }
   Trace& trace() noexcept { return trace_; }
+  // Metrics registry; null when MachineConfig::collect_stats is false.
+  Stats* stats() noexcept { return stats_.get(); }
+  const Stats* stats() const noexcept { return stats_.get(); }
+  // Flattened counter snapshot (all-zero blocks when stats are disabled)
+  // plus engine/interconnect totals — what sweep cells put into
+  // BENCH_*.json. Callable at any point; counters are cumulative.
+  MetricsSnapshot metrics() const;
   Directory& directory() noexcept { return *directory_; }
   Interconnect& interconnect() noexcept { return *net_; }
   Core& core(int i) { return *cores_.at(static_cast<std::size_t>(i)); }
@@ -56,6 +64,7 @@ class Machine {
   MachineConfig cfg_;
   Engine engine_;
   Trace trace_;
+  std::unique_ptr<Stats> stats_;
   std::unique_ptr<Interconnect> net_;
   std::unique_ptr<Directory> directory_;
   std::vector<std::unique_ptr<Core>> cores_;

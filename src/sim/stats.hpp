@@ -1,0 +1,184 @@
+// sim::Stats — the simulator's metrics registry.
+//
+// One Stats instance per Machine collects, while the simulation runs:
+//   * protocol counters (GetS/GetM issues, Fwd-GetS/Fwd-GetM, Inv, Inv-Ack,
+//     write-backs), machine-wide, per-core, and (optionally) per cache line;
+//   * HTM counters: transactional attempts, commits, abort causes broken
+//     down by the paper's §3 taxonomy (conflict, capacity, tripped writer,
+//     explicit), the §3.4.1 fix engaging, fallbacks, and a retry histogram
+//     (attempts needed per TxCAS call);
+//   * queue-level basket counters fed by the simulated SBQ (append
+//     won/lost, basket close events with occupancy, extraction outcomes).
+//
+// Every hook is attributed to the acting core and the affected line, so a
+// figure's claim ("the losers abort on back-to-back invalidations") can be
+// traced to exact event counts — see docs/observability.md for the full
+// taxonomy and how each counter maps to the paper's terminology.
+//
+// Overhead: collection is plain counter increments behind a null-check on
+// the owning component's `Stats*` (disabled ⇒ no Stats object ⇒ one
+// predictable branch). Per-line counters add a hash-map lookup per protocol
+// event and are therefore off by default (MachineConfig::track_lines). The
+// discrete-event engine itself has no hooks at all — its fast path is
+// byte-for-byte the one engine_microbench gates.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace sbq::sim {
+
+// HTM abort causes, mapped to the paper's §3/§4 terminology:
+//   kConflict      — requester-wins data conflict (an Inv or Fwd-GetM hit
+//                    the transaction's footprint; §3.3 "concurrent aborts").
+//   kCapacity      — transactional footprint overflow. The simulated TxCAS
+//                    touches a single line, so this never fires; it is kept
+//                    so reports share one schema with real-HTM runs.
+//   kTrippedWriter — a Fwd-GetS hit the commit window (§3.4).
+//   kExplicit      — _xabort(1): the value check failed inside the
+//                    transaction (Algorithm 1's self-abort).
+enum class AbortCause : std::uint8_t {
+  kConflict = 0,
+  kCapacity = 1,
+  kTrippedWriter = 2,
+  kExplicit = 3,
+};
+inline constexpr int kAbortCauseCount = 4;
+const char* abort_cause_name(AbortCause c) noexcept;
+
+// Coherence-protocol event counts. Each event is counted exactly once, at
+// the acting core (see docs/observability.md for the attribution rules).
+struct ProtocolCounters {
+  std::uint64_t gets = 0;      // GetS requests issued (read misses)
+  std::uint64_t getm = 0;      // GetM requests issued (write/RMW misses)
+  std::uint64_t fwd_gets = 0;  // Fwd-GetS received by an owner
+  std::uint64_t fwd_getm = 0;  // Fwd-GetM received by an owner (hand-off)
+  std::uint64_t inv = 0;       // Inv received by a sharer
+  std::uint64_t inv_ack = 0;   // Inv-Ack received by a requester
+  std::uint64_t wb_data = 0;   // WB-Data sent on an M->O downgrade
+};
+
+// HTM/TxCAS counters (machine-wide and per-core).
+struct HtmCounters {
+  std::uint64_t calls = 0;     // TxCAS invocations
+  std::uint64_t attempts = 0;  // transactional attempts started
+  std::uint64_t commits = 0;   // attempts that committed
+  std::uint64_t fallbacks = 0; // plain-CAS fallback taken (wait-freedom)
+  std::uint64_t uarch_fix_stalls = 0;  // §3.4.1 fix engaged
+  std::array<std::uint64_t, kAbortCauseCount> aborts{};
+
+  // Retry histogram: bucket i counts TxCAS calls resolved after exactly
+  // i+1 transactional attempts; the last bucket collects calls needing
+  // >= kRetryBuckets attempts (including fallback-resolved calls).
+  static constexpr int kRetryBuckets = 17;
+  std::array<std::uint64_t, kRetryBuckets> retry_histogram{};
+
+  std::uint64_t aborts_total() const noexcept {
+    std::uint64_t n = 0;
+    for (std::uint64_t a : aborts) n += a;
+    return n;
+  }
+};
+
+// Queue-level basket dynamics, fed by the simulated SBQ (§5). "Occupancy"
+// of a close event is the number of cells holding a real element when the
+// basket's empty bit was set.
+struct BasketCounters {
+  std::uint64_t appends_won = 0;    // try_append CAS/TxCAS succeeded
+  std::uint64_t appends_lost = 0;   // lost the append race (joined a basket)
+  std::uint64_t stale_tails = 0;    // try_append saw tail->next != NULL
+  std::uint64_t closes = 0;         // baskets sealed (empty bit set)
+  std::uint64_t occupancy_sum = 0;  // summed over close events
+  std::uint64_t occupancy_min = UINT64_MAX;
+  std::uint64_t occupancy_max = 0;
+  std::uint64_t extracted = 0;      // swaps that yielded a real element
+  std::uint64_t empty_swaps = 0;    // swaps that hit an unfilled cell
+  std::uint64_t node_reuses = 0;    // failed appender's node recycled
+  std::uint64_t fresh_allocs = 0;   // baskets initialized from scratch
+};
+
+// One machine's counters flattened into a copyable value — what a sweep
+// cell carries into BENCH_*.json (see benchsupport/BenchReport).
+struct MetricsSnapshot {
+  ProtocolCounters protocol;
+  HtmCounters htm;
+  BasketCounters basket;
+  std::uint64_t messages = 0;   // interconnect messages delivered
+  std::uint64_t events = 0;     // engine events processed
+  Time final_time = 0;          // simulated cycles at snapshot
+};
+
+class Stats {
+ public:
+  // `cores` sizes the per-core tables; `track_lines` additionally keys
+  // protocol counters by cache line (hash lookup per event — off by
+  // default, see MachineConfig::track_lines).
+  explicit Stats(int cores, bool track_lines = false);
+
+  bool track_lines() const noexcept { return track_lines_; }
+
+  // ---- protocol hooks (called from the core/cache layer) ----
+  void on_request(CoreId core, Addr a, bool want_m);  // GetS / GetM issued
+  void on_fwd(CoreId owner, Addr a, bool getm);       // Fwd-Get[S|M] received
+  void on_inv(CoreId sharer, Addr a);                 // Inv received
+  void on_inv_ack(CoreId requester, Addr a);          // Inv-Ack received
+  void on_wb(CoreId owner, Addr a);                   // WB-Data sent
+
+  // ---- HTM hooks (called from the TxCAS state machine) ----
+  void on_txcas_call(CoreId c);
+  void on_txn_attempt(CoreId c);
+  void on_txn_commit(CoreId c);
+  void on_txn_abort(CoreId c, AbortCause cause);
+  void on_txn_fallback(CoreId c);
+  void on_uarch_fix_stall(CoreId c);
+  // Call resolution: `attempts` transactional attempts were used (feeds
+  // the retry histogram; fallback-resolved calls land in the last bucket).
+  void on_txcas_done(CoreId c, int attempts, bool success);
+
+  // ---- basket hooks (called from the simulated SBQ) ----
+  void on_basket_append(bool won);
+  void on_basket_stale_tail();
+  void on_basket_close(std::uint64_t occupancy);
+  void on_basket_extract(bool got_element);
+  void on_basket_node(bool reused);
+
+  // ---- views ----
+  const ProtocolCounters& protocol() const noexcept { return protocol_; }
+  const ProtocolCounters& core_protocol(CoreId c) const {
+    return per_core_protocol_.at(static_cast<std::size_t>(c));
+  }
+  const HtmCounters& htm() const noexcept { return htm_; }
+  const HtmCounters& core_htm(CoreId c) const {
+    return per_core_htm_.at(static_cast<std::size_t>(c));
+  }
+  const BasketCounters& basket() const noexcept { return basket_; }
+  // Per-line counters (empty unless track_lines). line(a) returns a zero
+  // block for lines that saw no events.
+  const std::unordered_map<Addr, ProtocolCounters>& lines() const noexcept {
+    return lines_;
+  }
+  const ProtocolCounters& line(Addr a) const;
+
+  int core_count() const noexcept {
+    return static_cast<int>(per_core_protocol_.size());
+  }
+
+ private:
+  ProtocolCounters* line_slot(Addr a) {
+    return track_lines_ ? &lines_[a] : nullptr;
+  }
+
+  bool track_lines_;
+  ProtocolCounters protocol_;
+  HtmCounters htm_;
+  BasketCounters basket_;
+  std::vector<ProtocolCounters> per_core_protocol_;
+  std::vector<HtmCounters> per_core_htm_;
+  std::unordered_map<Addr, ProtocolCounters> lines_;
+};
+
+}  // namespace sbq::sim

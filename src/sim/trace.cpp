@@ -1,5 +1,6 @@
 #include "sim/trace.hpp"
 
+#include <cstdio>
 #include <iomanip>
 #include <ostream>
 
@@ -8,14 +9,67 @@ namespace sbq::sim {
 void Trace::record(Time t, CoreId node, std::string what, Addr addr,
                    std::int64_t detail) {
   if (!enabled_) return;
-  events_.push_back(TraceEvent{t, node, std::move(what), addr, detail});
+  TraceEvent e{t, node, std::move(what), addr, detail};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+    return;
+  }
+  ring_[next_] = std::move(e);
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> Trace::events() const {
+  if (dropped_ == 0) return ring_;
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  return out;
 }
 
 void Trace::print(std::ostream& os, Addr only_addr) const {
-  for (const auto& e : events_) {
+  for (const auto& e : events()) {
     if (only_addr != 0 && e.addr != only_addr) continue;
     os << std::setw(8) << e.time << "  node " << std::setw(3) << e.node << "  "
        << e.what << "  addr=" << e.addr << "  detail=" << e.detail << "\n";
+  }
+}
+
+namespace {
+// The event vocabulary is ASCII, but escape defensively so the JSONL stays
+// well-formed whatever string a future event uses.
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+}  // namespace
+
+void Trace::write_jsonl(std::ostream& os, Addr only_addr) const {
+  for (const auto& e : events()) {
+    if (only_addr != 0 && e.addr != only_addr) continue;
+    os << "{\"t\":" << e.time << ",\"node\":" << e.node << ",\"event\":";
+    write_json_string(os, e.what);
+    os << ",\"addr\":" << e.addr << ",\"detail\":" << e.detail << "}\n";
   }
 }
 

@@ -1,7 +1,18 @@
 // Optional event trace: records protocol-level events for the coherence-
-// dynamics benchmark (Figure 2a/2b) and for debugging protocol behaviour.
+// dynamics benchmark (Figure 2a/2b), for debugging protocol behaviour, and
+// for machine-readable export (`--trace=FILE` on the bench drivers).
+//
+// The buffer is a bounded ring: once `capacity` events are recorded the
+// oldest are overwritten and `dropped()` counts how many were lost — long
+// simulations keep the *tail* of their history instead of growing without
+// bound. events() returns the retained events in record order.
+//
+// write_jsonl() emits one JSON object per line; the schema (field meanings
+// and the vocabulary of `event` strings) is documented in
+// docs/observability.md.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -22,23 +33,46 @@ struct TraceEvent {
 
 class Trace {
  public:
-  explicit Trace(bool enabled = false) : enabled_(enabled) {}
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 20;
+
+  explicit Trace(bool enabled = false,
+                 std::size_t capacity = kDefaultCapacity)
+      : enabled_(enabled), capacity_(capacity == 0 ? 1 : capacity) {}
 
   void set_enabled(bool on) noexcept { enabled_ = on; }
   bool enabled() const noexcept { return enabled_; }
+  std::size_t capacity() const noexcept { return capacity_; }
 
   void record(Time t, CoreId node, std::string what, Addr addr,
               std::int64_t detail = 0);
 
-  const std::vector<TraceEvent>& events() const noexcept { return events_; }
-  void clear() noexcept { events_.clear(); }
+  // Retained events, oldest first. Until the ring wraps this is a cheap
+  // reference-like copy of the underlying buffer; after wrapping it stitches
+  // the two halves back into record order.
+  std::vector<TraceEvent> events() const;
+  std::size_t size() const noexcept { return ring_.size(); }
+  // Events overwritten after the ring filled up.
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  void clear() noexcept {
+    ring_.clear();
+    next_ = 0;
+    dropped_ = 0;
+  }
 
   // Pretty-print, optionally filtered to one address.
   void print(std::ostream& os, Addr only_addr = 0) const;
 
+  // One JSON object per line:
+  //   {"t":<cycles>,"node":<id>,"event":"<what>","addr":<a>,"detail":<d>}
+  // filtered to `only_addr` when non-zero. Schema: docs/observability.md.
+  void write_jsonl(std::ostream& os, Addr only_addr = 0) const;
+
  private:
   bool enabled_;
-  std::vector<TraceEvent> events_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;  // ring insertion point once |ring_| == capacity_
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceEvent> ring_;
 };
 
 }  // namespace sbq::sim

@@ -7,6 +7,7 @@
 // one cache line (the algorithms pad contended variables anyway).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace sbq::sim {
@@ -31,6 +32,15 @@ struct MachineConfig {
   Time rmw_latency = 8;     // read-modify-write execute cost once owned
   bool uarch_fix = false;   // §3.4.1: stall Fwd-GetS of a committing txn
   bool record_trace = false;
+  // Bounded event-trace ring: once `trace_capacity` events are buffered the
+  // oldest are overwritten (Trace::dropped() reports how many).
+  std::size_t trace_capacity = std::size_t{1} << 20;
+  // Metrics registry (sim::Stats): machine-wide + per-core counters. Plain
+  // increments — keep on unless a microbenchmark needs the last percent.
+  bool collect_stats = true;
+  // Additionally key protocol counters by cache line (a hash lookup per
+  // protocol event; off by default).
+  bool track_lines = false;
 };
 
 // TxCAS tuning (§4.1, §4.2). Cycle values assume 0.4 ns/cycle, so the

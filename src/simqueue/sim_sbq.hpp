@@ -31,6 +31,7 @@
 
 #include <cassert>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "simqueue/sim_queue_base.hpp"
@@ -122,14 +123,20 @@ class SimSbq {
       co_await c.store(node_link(new_node), pack_link(my_index, 0));
       const int status = co_await try_append(c, t, t_link, new_node, my_index);
       if (status == kSuccess) {
+        if (auto* st = machine_.stats()) {
+          st->on_basket_append(/*won=*/true);
+          ++filled_[new_node];  // the winner's own cell, stored above
+        }
         co_await c.cas(tail_addr(), t, new_node);
         break;
       }
       if (status == kFailure) {
+        if (auto* st = machine_.stats()) st->on_basket_append(/*won=*/false);
         // Another node was appended; join the winner's basket.
         t = link_next(co_await c.load(node_link(t)));
         if (co_await c.cas(node_cell(t, static_cast<Value>(id)), kInsertMark,
                            element) != 0) {
+          if (machine_.stats() != nullptr) ++filled_[t];  // joined the basket
           // Keep our node for reuse; undo its single insertion (O(1)).
           co_await c.store(node_cell(new_node, static_cast<Value>(id)),
                            kInsertMark);
@@ -193,10 +200,12 @@ class SimSbq {
   Task<Addr> take_or_allocate(Core& c, int id) {
     Addr& slot = reusable_[static_cast<std::size_t>(id)];
     if (slot != 0) {
+      if (auto* st = machine_.stats()) st->on_basket_node(/*reused=*/true);
       const Addr node = slot;
       slot = 0;
       co_return node;
     }
+    if (auto* st = machine_.stats()) st->on_basket_node(/*reused=*/false);
     // Fresh allocation: model the basket initialization as local work.
     co_await c.think(static_cast<Time>(kInitCyclesPerCell * basket_cap_));
     co_return alloc_node_raw();
@@ -206,7 +215,10 @@ class SimSbq {
   // CAS target is the tail's link word: expected = (tail index, NULL next).
   Task<int> try_append(Core& c, Addr tail, Value tail_link, Addr new_node,
                        Value my_index) {
-    if (link_next(tail_link) != 0) co_return kBadTail;
+    if (link_next(tail_link) != 0) {
+      if (auto* st = machine_.stats()) st->on_basket_stale_tail();
+      co_return kBadTail;
+    }
     const Value expected = pack_link(my_index - 1, 0);
     const Value desired = pack_link(my_index - 1, new_node);
     if (cfg_.variant == SbqVariant::kHtm) {
@@ -232,8 +244,12 @@ class SimSbq {
       for (;;) {
         const Value index = co_await c.faa(node_counter(node), 1);
         if (index >= live) co_return 0;
-        if (index == live - 1) co_await c.store(node_empty(node), 1);
+        if (index == live - 1) {
+          if (auto* st = machine_.stats()) st->on_basket_close(filled_[node]);
+          co_await c.store(node_empty(node), 1);
+        }
         const Value v = co_await c.swap(node_cell(node, index), kEmptyMark);
+        if (auto* st = machine_.stats()) st->on_basket_extract(v != kInsertMark);
         if (v != kInsertMark) co_return v;
       }
     }
@@ -249,11 +265,13 @@ class SimSbq {
         if (index == size - 1) {
           const Value drained = co_await c.faa(node_drained(node), 1);
           if (drained + 1 == static_cast<Value>(n)) {
+            if (auto* st = machine_.stats()) st->on_basket_close(filled_[node]);
             co_await c.store(node_empty(node), 1);
           }
         }
         const Value v =
             co_await c.swap(node_cell(node, base + index), kEmptyMark);
+        if (auto* st = machine_.stats()) st->on_basket_extract(v != kInsertMark);
         if (v != kInsertMark) co_return v;
       }
     }
@@ -292,6 +310,10 @@ class SimSbq {
   int stripes_;
   Addr queue_ = 0;
   std::vector<Addr> reusable_;  // host-side per-enqueuer node cache
+  // Host-side occupancy bookkeeping for the metrics registry (elements that
+  // actually landed in each appended basket); only maintained when the
+  // machine collects stats.
+  std::unordered_map<Addr, std::uint64_t> filled_;
 };
 
 }  // namespace sbq::simq
