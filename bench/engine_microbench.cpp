@@ -103,10 +103,14 @@ int main(int argc, char** argv) {
   Table table({"phase", "events", "Mevents/s", "slab_refills", "boxed_allocs",
                "allocs_per_event"});
   sim::Engine engine;
+  bool steady_clean = true;
   for (int r = 0; r < repeats + 1; ++r) {
     const PhaseResult res = drive(engine, ops, width);
     const std::string phase =
         r == 0 ? "cold" : "steady-" + std::to_string(r);
+    if (r > 0 && res.slab_refills + res.boxed_allocs != 0) {
+      steady_clean = false;
+    }
     char rate[32], apev[32];
     std::snprintf(rate, sizeof rate, "%.2f", res.events_per_sec / 1e6);
     std::snprintf(apev, sizeof apev, "%.6f", res.allocs_per_event);
@@ -135,6 +139,12 @@ int main(int argc, char** argv) {
   if (!opts.trace_path.empty()) {
     std::cerr << "engine_microbench: --trace ignored (no coherence machine "
                  "in this bench)\n";
+  }
+  if (!steady_clean) {
+    std::cerr << "engine_microbench: FAIL — a steady phase allocated "
+                 "(slab refill or boxed event); schedule() must be "
+                 "allocation-free once warm\n";
+    return 1;
   }
   return 0;
 }

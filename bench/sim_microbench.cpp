@@ -1,0 +1,270 @@
+// Whole-machine microbenchmark and allocation gate.
+//
+// engine_microbench gates the event engine alone; this bench drives the
+// FULL simulator stack — coroutine programs, cores, caches, directory,
+// interconnect, and the simulated SBQ — through complete enqueue/dequeue
+// rounds and counts every heap allocation in the process (global operator
+// new/delete are overridden in this translation unit).
+//
+// Phases:
+//   * cold   — first round on a fresh machine: line tables and the frame
+//     pool warm up, so allocs/event is nonzero.
+//   * steady — subsequent identical rounds: every allocation source must be
+//     warm (engine slab, frame pool, flat maps pre-sized via
+//     Machine::reserve_lines, inline callables/vectors, inline sharer-set
+//     storage), so allocs/event MUST be exactly 0.
+//
+// The process exits nonzero if any steady phase allocates — this is the
+// regression gate that keeps the simulator's hot path allocation-free
+// end-to-end (`ctest -L perf_smoke`).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <new>
+#include <string>
+
+#include "benchsupport/bench_report.hpp"
+#include "benchsupport/table.hpp"
+#include "common/rng.hpp"
+#include "sim/machine.hpp"
+#include "simqueue/sim_sbq.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counters. The bench is single-threaded; plain counters
+// suffice. Every form of operator new funnels through count_alloc.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::uint64_t g_alloc_calls = 0;
+std::uint64_t g_alloc_bytes = 0;
+
+void* count_alloc(std::size_t n) {
+  ++g_alloc_calls;
+  g_alloc_bytes += n;
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* count_alloc_aligned(std::size_t n, std::size_t align) {
+  ++g_alloc_calls;
+  g_alloc_bytes += n;
+  const std::size_t rounded = (n + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, rounded == 0 ? align : rounded);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return count_alloc(n); }
+void* operator new[](std::size_t n) { return count_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return count_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return count_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  ++g_alloc_calls;
+  g_alloc_bytes += n;
+  return std::malloc(n == 0 ? 1 : n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  ++g_alloc_calls;
+  g_alloc_bytes += n;
+  return std::malloc(n == 0 ? 1 : n);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+// ---------------------------------------------------------------------------
+// Workload: P producers and P consumers on a 2P-core machine run a full
+// enqueue/dequeue round per phase (every phase drains the queue). Same
+// shape as the figure drivers' mixed workload, but without the shared_ptr
+// accumulators of sim_workload.hpp — the bench must not allocate on its own
+// account inside a measured phase.
+// ---------------------------------------------------------------------------
+
+namespace sbq {
+namespace {
+
+struct Accum {
+  std::uint64_t enq = 0;
+  std::uint64_t deq = 0;
+};
+
+simq::Task<void> producer(sim::Machine& m, simq::SimSbq& q, int core, int id,
+                          simq::Value ops, std::uint64_t seed, Accum* acc) {
+  Xoshiro256 rng(seed);
+  sim::Core& c = m.core(core);
+  co_await c.think(1 + rng.next_below(32));
+  for (simq::Value i = 0; i < ops; ++i) {
+    co_await q.enqueue(
+        c, simq::kFirstElement + (static_cast<simq::Value>(id) << 32 | i), id);
+    ++acc->enq;
+    co_await c.think(1 + rng.next_below(8));
+  }
+}
+
+simq::Task<void> consumer(sim::Machine& m, simq::SimSbq& q, int core, int id,
+                          simq::Value ops, std::uint64_t seed, Accum* acc) {
+  Xoshiro256 rng(seed);
+  sim::Core& c = m.core(core);
+  co_await c.think(1 + rng.next_below(32));
+  simq::Value got = 0;
+  while (got < ops) {
+    const simq::Value e = co_await q.dequeue(c, id);
+    if (e != 0) {
+      ++acc->deq;
+      ++got;
+    } else {
+      co_await c.think(64);
+    }
+  }
+}
+
+struct PhaseResult {
+  std::uint64_t events = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t bytes = 0;
+  double events_per_sec = 0;
+};
+
+PhaseResult run_phase(sim::Machine& m, simq::SimSbq& q, int producers,
+                      simq::Value ops, std::uint64_t seed) {
+  Accum acc;
+  const std::uint64_t events_before = m.engine().events_processed();
+  const std::uint64_t allocs_before = g_alloc_calls;
+  const std::uint64_t bytes_before = g_alloc_bytes;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int p = 0; p < producers; ++p) {
+    m.spawn(producer(m, q, p, p, ops,
+                     seed * 1000003 + static_cast<std::uint64_t>(p), &acc));
+  }
+  for (int ci = 0; ci < producers; ++ci) {
+    m.spawn(consumer(m, q, producers + ci, ci, ops,
+                     seed * 2000003 + static_cast<std::uint64_t>(ci), &acc));
+  }
+  m.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  PhaseResult r;
+  r.events = m.engine().events_processed() - events_before;
+  r.ops = acc.enq + acc.deq;
+  r.allocs = g_alloc_calls - allocs_before;
+  r.bytes = g_alloc_bytes - bytes_before;
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  r.events_per_sec = secs > 0 ? static_cast<double>(r.events) / secs : 0;
+  return r;
+}
+
+}  // namespace
+}  // namespace sbq
+
+int main(int argc, char** argv) {
+  using namespace sbq;
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  const int producers = opts.first_thread_or(4);
+  const simq::Value ops = opts.ops_or(250);  // per producer, per phase
+  const int repeats = opts.repeats_or(2);    // steady phases
+  BenchReport report("sim_microbench");
+  report.set_config("producers", Json(static_cast<std::uint64_t>(producers)));
+  report.set_config("ops_per_producer_per_phase", Json(ops));
+  report.set_config("steady_phases", Json(static_cast<std::uint64_t>(repeats)));
+
+  sim::MachineConfig mcfg;
+  mcfg.cores = 2 * producers;
+  // Counter increments are cheap but SimSbq's host-side occupancy
+  // bookkeeping (filled_) grows with every basket — the gate measures the
+  // simulator proper, so stats stay off.
+  mcfg.collect_stats = false;
+
+  sim::Machine m(mcfg);
+  simq::SimSbq::Config qcfg;
+  qcfg.enqueuers = producers;
+  qcfg.dequeuers = producers;
+  simq::SimSbq q(m, qcfg);
+
+  // Pre-size every per-line table for the run's whole address range: the
+  // queue header plus one fresh node per enqueue (upper bound; losers reuse
+  // their nodes). Setup-time allocation, like reserving a vector.
+  const std::uint64_t total_enqueues = static_cast<std::uint64_t>(repeats + 1) *
+                                       static_cast<std::uint64_t>(producers) *
+                                       ops;
+  const std::uint64_t node_words =
+      static_cast<std::uint64_t>(producers) /* basket cells */ +
+      1 /* extraction counter */ + 2 /* empty flag + link */;
+  m.reserve_lines(16 + 2 * static_cast<std::uint64_t>(producers) +
+                  (total_enqueues + 2) * node_words);
+  m.reserve_tasks(static_cast<std::size_t>(2 * producers));
+
+  std::cout << "# Sim microbench: whole-machine enqueue/dequeue rounds with "
+               "heap-allocation accounting\n# ("
+            << producers << " producers + " << producers << " consumers, "
+            << ops << " ops/producer/phase; steady-state allocations must be "
+               "0)\n";
+  Table table({"phase", "events", "queue_ops", "Mevents/s", "allocs",
+               "alloc_bytes", "allocs_per_event"});
+  bool steady_clean = true;
+  for (int r = 0; r < repeats + 1; ++r) {
+    const PhaseResult res =
+        run_phase(m, q, producers, ops, 1 + static_cast<std::uint64_t>(r));
+    const std::string phase = r == 0 ? "cold" : "steady-" + std::to_string(r);
+    if (r > 0 && res.allocs != 0) steady_clean = false;
+    const double ape =
+        res.events == 0 ? 0
+                        : static_cast<double>(res.allocs) /
+                              static_cast<double>(res.events);
+    char rate[32], apev[32];
+    std::snprintf(rate, sizeof rate, "%.2f", res.events_per_sec / 1e6);
+    std::snprintf(apev, sizeof apev, "%.6f", ape);
+    table.add_row({phase, std::to_string(res.events), std::to_string(res.ops),
+                   rate, std::to_string(res.allocs),
+                   std::to_string(res.bytes), apev});
+    if (!opts.json_path.empty()) {
+      Json cj = Json::object();
+      cj.set("phase", Json(phase));
+      cj.set("events", Json(res.events));
+      cj.set("queue_ops", Json(res.ops));
+      cj.set("events_per_sec", Json(res.events_per_sec));
+      cj.set("allocs", Json(res.allocs));
+      cj.set("alloc_bytes", Json(res.bytes));
+      cj.set("allocs_per_event", Json(ape));
+      report.add_cell(std::move(cj));
+    }
+  }
+  table.print(std::cout, opts.csv);
+  std::cout << "\n(cold warms the line tables and the coroutine frame pool; "
+               "a steady phase that\n allocates fails the gate: the whole "
+               "simulator must be allocation-free once warm.)\n";
+  if (!opts.json_path.empty()) {
+    report.add_table("phases", table);
+    if (!report.write(opts.json_path)) return 1;
+  }
+  if (!opts.trace_path.empty()) {
+    std::cerr << "sim_microbench: --trace ignored (tracing would allocate "
+                 "inside the measured phases)\n";
+  }
+  if (!steady_clean) {
+    std::cerr << "sim_microbench: FAIL — steady phase allocated on the heap "
+                 "(see the allocs column)\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Capture the simulator performance baseline into BENCH_sim.json.
+#
+# Runs the two allocation-gated microbenches (engine_microbench,
+# sim_microbench) at their gate sizes and wall-clock-times the three
+# queue-sweep drivers the paper's headline figures use (fig5/fig6/fig7,
+# canonical args: --threads 2,4,8,16,32 --ops 100 --repeats 2 --jobs 1,
+# best of $RUNS runs). Results land in BENCH_sim.json at the repo root.
+#
+# Usage:
+#   scripts/bench_baseline.sh [before.json]
+#
+#   before.json — optional timings of an earlier build in the same format
+#                 (a prior BENCH_sim.json, or a bare {driver: {best_s}}
+#                 map); embedded under "before" with per-driver speedups.
+#
+# Env: BUILD_DIR (default: build), RUNS (default: 3).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+RUNS=${RUNS:-3}
+BEFORE=${1:-}
+
+for bin in fig5_enqueue fig6_dequeue fig7_mixed engine_microbench sim_microbench; do
+  if [ ! -x "$BUILD_DIR/bench/$bin" ]; then
+    echo "bench_baseline: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+done
+
+python3 - "$BUILD_DIR" "$RUNS" "$BEFORE" <<'EOF'
+import json, os, platform, subprocess, sys, tempfile, time
+
+build, runs, before_path = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+FIG_ARGS = ["--threads", "2,4,8,16,32", "--ops", "100", "--repeats", "2",
+            "--jobs", "1"]
+FIGS = ["fig5_enqueue", "fig6_dequeue", "fig7_mixed"]
+
+def run_timed(drv):
+    exe = os.path.join(build, "bench", drv)
+    samples = []
+    for _ in range(runs):
+        t0 = time.monotonic()
+        subprocess.run([exe, *FIG_ARGS], check=True,
+                       stdout=subprocess.DEVNULL)
+        samples.append(round(time.monotonic() - t0, 3))
+    return {"args": " ".join(FIG_ARGS), "runs_s": samples,
+            "best_s": min(samples)}
+
+def run_micro(drv, args):
+    exe = os.path.join(build, "bench", drv)
+    with tempfile.NamedTemporaryFile(suffix=".json") as f:
+        # A nonzero exit IS the gate: a steady phase allocated.
+        subprocess.run([exe, *args, "--json", f.name], check=True,
+                       stdout=subprocess.DEVNULL)
+        cells = json.load(open(f.name))["cells"]
+    steady = [c for c in cells if str(c.get("phase", "")).startswith("steady")]
+    out = {"args": " ".join(args),
+           "steady_mevents_per_s":
+               round(max(c["events_per_sec"] for c in steady) / 1e6, 2)}
+    alloc_keys = [k for k in ("allocs", "slab_refills", "boxed_allocs")
+                  if k in steady[0]]
+    out["steady_allocs"] = sum(int(c[k]) for c in steady for k in alloc_keys)
+    return out
+
+report = {
+    "schema": "sbq.bench-baseline/1",
+    "machine": {"platform": platform.platform(),
+                "cpus": os.cpu_count()},
+    "figures": {d: run_timed(d) for d in FIGS},
+    "microbench": {
+        "engine_microbench": run_micro(
+            "engine_microbench", ["--ops", "200000", "--repeats", "2"]),
+        "sim_microbench": run_micro(
+            "sim_microbench",
+            ["--threads", "4", "--ops", "250", "--repeats", "2"]),
+    },
+}
+
+if before_path:
+    before = json.load(open(before_path))
+    before_figs = before.get("figures", before)  # bare map accepted
+    report["before"] = before_figs
+    for d in FIGS:
+        if d in before_figs and "best_s" in before_figs[d]:
+            report["figures"][d]["speedup_vs_before"] = round(
+                before_figs[d]["best_s"] / report["figures"][d]["best_s"], 2)
+
+with open("BENCH_sim.json", "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(json.dumps(report["figures"], indent=2))
+EOF
+echo "bench_baseline: wrote BENCH_sim.json"

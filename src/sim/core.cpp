@@ -1,8 +1,6 @@
 // Core operation plumbing and the TxCAS state machine.
 #include "sim/core.hpp"
 
-#include <memory>
-
 #include "sim/trace.hpp"
 
 namespace sbq::sim {
@@ -22,13 +20,14 @@ Core::LineState Core::line_state(Addr a) const {
 // then run `cont` (synchronously within the completing event).
 // ---------------------------------------------------------------------------
 
-void Core::acquire(Addr a, bool want_m, std::function<void()> cont) {
+void Core::acquire(Addr a, bool want_m, ContFn cont) {
   if (pending_.count(a) != 0) {
     // Our own request on this line is in flight (e.g. the background GetM of
     // an aborted transaction). Wait for it to settle, then try again.
-    waiters_[a].push_back([this, a, want_m, cont = std::move(cont)]() mutable {
-      acquire(a, want_m, std::move(cont));
-    });
+    waiters_[a].push_back(
+        WaiterFn([this, a, want_m, cont = std::move(cont)]() mutable {
+          acquire(a, want_m, std::move(cont));
+        }));
     return;
   }
   auto it = lines_.find(a);
@@ -44,19 +43,18 @@ void Core::acquire(Addr a, bool want_m, std::function<void()> cont) {
   issue_request(a, want_m, std::move(cont));
 }
 
-void Core::issue_request(Addr a, bool want_m, std::function<void()> cont) {
+void Core::issue_request(Addr a, bool want_m, ContFn cont) {
   if (metrics_) metrics_->on_request(id_, a, want_m);
-  Pending p;
+  Pending& p = pending_[a];
   p.want_m = want_m;
   p.on_complete = std::move(cont);
-  pending_.emplace(a, std::move(p));
   Message req{want_m ? MsgType::kGetM : MsgType::kGetS, a, id_, id_, 0, 0};
   net_.send(id_, dir_, req);
 }
 
 void Core::finish_request(Addr a) {
-  Pending& p = pending_.at(a);
   Line& line = lines_[a];
+  Pending& p = pending_.at(a);
   // Owned-to-Modified upgrade: our copy is the authoritative one; the
   // directory's response only carried the ack count (its value is stale).
   const bool keep_own_value =
@@ -85,7 +83,7 @@ void Core::release_request(Addr a) {
   assert(it != pending_.end());
   // Answer forwards stalled behind this request, in arrival order. Each may
   // change the line's state (downgrade/invalidate).
-  std::vector<Message> stalls = std::move(it->second.stalled_fwds);
+  InlineVec<Message, 16> stalls = std::move(it->second.stalled_fwds);
   const bool deferred_inv = it->second.inv_after_data;
   const CoreId inv_req = it->second.deferred_inv_requester;
   pending_.erase(it);
@@ -112,7 +110,7 @@ void Core::release_request(Addr a) {
 void Core::run_waiters(Addr a) {
   auto it = waiters_.find(a);
   if (it == waiters_.end()) return;
-  std::vector<std::function<void()>> ws = std::move(it->second);
+  InlineVec<WaiterFn, 4> ws = std::move(it->second);
   waiters_.erase(it);
   for (auto& w : ws) w();
 }
@@ -121,35 +119,37 @@ void Core::run_waiters(Addr a) {
 // Plain operations.
 // ---------------------------------------------------------------------------
 
-void Core::start_load(Addr a, std::function<void(Value)> done) {
+void Core::start_load(Addr a, DoneValFn done) {
   ++stats_.loads;
-  acquire(a, /*want_m=*/false, [this, a, done = std::move(done)] {
+  acquire(a, /*want_m=*/false, ContFn([this, a, done = std::move(done)]() mutable {
     const Value v = lines_.at(a).value;
     const bool was_miss = pending_.count(a) != 0;
-    engine_.schedule(cfg_.hit_latency, [this, a, v, was_miss, done] {
+    engine_.schedule(cfg_.hit_latency,
+                     [this, a, v, was_miss, done = std::move(done)]() mutable {
       if (was_miss) release_request(a);
       done(v);
     });
-  });
+  }));
 }
 
-void Core::start_store(Addr a, Value v, std::function<void()> done) {
+void Core::start_store(Addr a, Value v, DoneVoidFn done) {
   ++stats_.stores;
-  acquire(a, /*want_m=*/true, [this, a, v, done = std::move(done)] {
+  acquire(a, /*want_m=*/true,
+          ContFn([this, a, v, done = std::move(done)]() mutable {
     lines_.at(a).value = v;
     const bool was_miss = pending_.count(a) != 0;
-    engine_.schedule(cfg_.hit_latency, [this, a, was_miss, done] {
+    engine_.schedule(cfg_.hit_latency,
+                     [this, a, was_miss, done = std::move(done)]() mutable {
       if (was_miss) release_request(a);
       done();
     });
-  });
+  }));
 }
 
-void Core::start_rmw(Rmw kind, Addr a, Value arg0, Value arg1,
-                     std::function<void(Value)> done) {
+void Core::start_rmw(Rmw kind, Addr a, Value arg0, Value arg1, DoneValFn done) {
   ++stats_.rmws;
   acquire(a, /*want_m=*/true,
-          [this, kind, a, arg0, arg1, done = std::move(done)] {
+          ContFn([this, kind, a, arg0, arg1, done = std::move(done)]() mutable {
     // We own the line: perform the read-modify-write atomically. Incoming
     // forwards are stalled (pending entry is locked) until rmw_latency has
     // elapsed — the §3.2 stall that serializes contended RMWs.
@@ -173,43 +173,42 @@ void Core::start_rmw(Rmw kind, Addr a, Value arg0, Value arg1,
         break;
     }
     const bool was_miss = pending_.count(a) != 0;
-    engine_.schedule(cfg_.rmw_latency, [this, a, was_miss, result, done] {
+    engine_.schedule(cfg_.rmw_latency,
+                     [this, a, was_miss, result, done = std::move(done)]() mutable {
       if (was_miss) release_request(a);
       done(result);
     });
-  });
+  }));
 }
 
 // ---------------------------------------------------------------------------
 // TxCAS (§4, Algorithm 1) as an explicit state machine. One live TxCAS per
-// core (each core runs one simulated thread).
+// core (each core runs one simulated thread), so the operation record is a
+// per-core slot (txcas_op_) reused across calls. Callbacks belonging to a
+// finished attempt may still fire (a stale GetS/GetM completing); they must
+// not read the possibly-reused slot, so they carry the addr and the
+// attempt's txn token by value and bail out on a token mismatch. Tokens are
+// monotonically increasing across attempts and operations, which makes the
+// token check equivalent to the old shared_ptr identity + token pair.
 // ---------------------------------------------------------------------------
 
-struct Core::TxCasOp {
-  Addr addr;
-  Value expected;
-  Value desired;
-  TxCasConfig cfg;
-  int attempt = 0;
-  std::function<void(bool)> done;
-};
-
 void Core::start_txcas(Addr a, Value expected, Value desired, TxCasConfig cfg,
-                       std::function<void(bool)> done) {
+                       DoneBoolFn done) {
   ++stats_.txcas_calls;
   if (metrics_) metrics_->on_txcas_call(id_);
-  auto op = std::make_shared<TxCasOp>();
+  TxCasOp* op = &txcas_op_;
   op->addr = a;
   op->expected = expected;
   op->desired = desired;
   op->cfg = cfg;
+  op->attempt = 0;
   op->done = std::move(done);
-  txcas_attempt(std::move(op));
+  txcas_attempt(op);
 }
 
-void Core::txcas_attempt(std::shared_ptr<TxCasOp> op) {
+void Core::txcas_attempt(TxCasOp* op) {
   if (op->attempt >= op->cfg.max_attempts) {
-    txcas_fallback(std::move(op));
+    txcas_fallback(op);
     return;
   }
   ++op->attempt;
@@ -223,22 +222,26 @@ void Core::txcas_attempt(std::shared_ptr<TxCasOp> op) {
   txn_op_ = op;
   // Transactional read: needs the line in S (or M). The read itself is a
   // plain GetS if we miss.
-  acquire(op->addr, /*want_m=*/false, [this, op] { txcas_on_read_ready(op); });
+  acquire(op->addr, /*want_m=*/false,
+          ContFn([this, op, a = op->addr, token = txn_.token] {
+            txcas_on_read_ready(op, a, token);
+          }));
 }
 
-void Core::txcas_on_read_ready(std::shared_ptr<TxCasOp> op) {
+void Core::txcas_on_read_ready(TxCasOp* op, Addr a, std::uint64_t token) {
   // The acquire may complete after an asynchronous abort already tore the
-  // transaction down (e.g. deferred Inv). Detect via the token.
-  const std::uint64_t token = txn_.token;
-  if (!txn_.active || txn_op_ != op) {
-    if (pending_.count(op->addr) != 0) release_request(op->addr);
+  // transaction down (e.g. deferred Inv) — or, with the per-core slot,
+  // after the whole operation finished. Detect via the token; the stale
+  // path must use the captured addr (the slot may describe a newer op).
+  if (!txn_.active || txn_.token != token) {
+    if (pending_.count(a) != 0) release_request(a);
     return;
   }
-  const Value v = lines_.at(op->addr).value;
+  const Value v = lines_.at(a).value;
   txn_.read_marked = true;
-  const bool was_miss = pending_.count(op->addr) != 0;
-  if (was_miss) release_request(op->addr);
-  if (!txn_.active || txn_op_ != op || txn_.token != token) {
+  const bool was_miss = pending_.count(a) != 0;
+  if (was_miss) release_request(a);
+  if (!txn_.active || txn_.token != token) {
     return;  // releasing answered a deferred Inv that aborted us
   }
 
@@ -251,8 +254,11 @@ void Core::txcas_on_read_ready(std::shared_ptr<TxCasOp> op) {
       metrics_->on_txcas_done(id_, op->attempt, false);
     }
     txn_ = Txn{.token = txn_.token};
-    txn_op_.reset();
-    engine_.schedule(cfg_.hit_latency, [op] { op->done(false); });
+    txn_op_ = nullptr;
+    engine_.schedule(cfg_.hit_latency, [op] {
+      auto done = std::move(op->done);
+      done(false);
+    });
     return;
   }
 
@@ -274,12 +280,12 @@ void Core::txcas_on_read_ready(std::shared_ptr<TxCasOp> op) {
   const Time jitter_range = op->cfg.intra_txn_delay / 2 + 16;
   const Time jitter = (delay_jitter_state_ >> 33) % jitter_range;
   engine_.schedule(op->cfg.intra_txn_delay + jitter, [this, op, token] {
-    if (!txn_.active || txn_op_ != op || txn_.token != token) return;
+    if (!txn_.active || txn_.token != token) return;
     txcas_enter_write(op);
   });
 }
 
-void Core::txcas_enter_write(std::shared_ptr<TxCasOp> op) {
+void Core::txcas_enter_write(TxCasOp* op) {
   txn_.in_write_phase = true;
   const std::uint64_t token = txn_.token;
   if (pending_.count(op->addr) == 0 &&
@@ -287,7 +293,7 @@ void Core::txcas_enter_write(std::shared_ptr<TxCasOp> op) {
     // Already own the line: the write hits and the transaction commits with
     // (almost) no vulnerability window.
     engine_.schedule(cfg_.hit_latency, [this, op, token] {
-      if (!txn_.active || txn_op_ != op || txn_.token != token) return;
+      if (!txn_.active || txn_.token != token) return;
       txcas_commit(op);
     });
     return;
@@ -297,20 +303,21 @@ void Core::txcas_enter_write(std::shared_ptr<TxCasOp> op) {
   // so the cache side can detect tripped-writer forwards. The token guard
   // matters: if this attempt aborts and the op retries, the stale GetM
   // completion must release the line instead of committing the new attempt.
-  acquire(op->addr, /*want_m=*/true, [this, op, token] {
-    if (!txn_.active || txn_op_ != op || txn_.token != token) {
+  acquire(op->addr, /*want_m=*/true,
+          ContFn([this, op, a = op->addr, token] {
+    if (!txn_.active || txn_.token != token) {
       // Aborted while the GetM was in flight: ownership still arrives; the
       // buffered write is discarded. Release to answer stalled forwards.
-      if (pending_.count(op->addr) != 0) release_request(op->addr);
+      if (pending_.count(a) != 0) release_request(a);
       return;
     }
     txcas_commit(op);
-  });
+  }));
   auto it = pending_.find(op->addr);
   if (it != pending_.end()) it->second.txn_write = true;
 }
 
-void Core::txcas_commit(std::shared_ptr<TxCasOp> op) {
+void Core::txcas_commit(TxCasOp* op) {
   // _xend: all transactional writes propagate to the cache.
   lines_.at(op->addr).value = op->desired;
   ++stats_.txcas_success;
@@ -319,15 +326,19 @@ void Core::txcas_commit(std::shared_ptr<TxCasOp> op) {
     metrics_->on_txcas_done(id_, op->attempt, true);
   }
   txn_ = Txn{.token = txn_.token};
-  txn_op_.reset();
+  txn_op_ = nullptr;
   if (trace_ && trace_->enabled()) {
     trace_->record(engine_.now(), id_, "txcas commit", op->addr,
                    static_cast<std::int64_t>(op->desired));
   }
   const bool was_miss = pending_.count(op->addr) != 0;
   engine_.schedule(cfg_.hit_latency, [this, op, was_miss] {
+    // done() resumes the simulated thread, which may start a new TxCAS in
+    // the same slot — move the callback out before invoking, and touch no
+    // op field afterwards.
     if (was_miss) release_request(op->addr);
-    op->done(true);
+    auto done = std::move(op->done);
+    done(true);
   });
 }
 
@@ -336,17 +347,19 @@ void Core::txcas_commit(std::shared_ptr<TxCasOp> op) {
 // phase, 1 = conflict that tripped the write.
 void Core::txcas_abort(int kind, AbortCause cause) {
   assert(txn_.active);
-  auto op = txn_op_;
+  TxCasOp* op = txn_op_;
   if (metrics_) metrics_->on_txn_abort(id_, cause);
   txn_.active = false;
   txn_.read_marked = false;
   ++txn_.token;  // cancels any scheduled delay timer
-  txn_op_.reset();
+  txn_op_ = nullptr;
   if (trace_ && trace_->enabled()) {
     trace_->record(engine_.now(), id_,
                    kind == 0 ? "txcas abort (nested)" : "txcas abort (tripped)",
                    op->addr, op->attempt);
   }
+  // The op has not completed (done not yet called), so the slot stays valid
+  // until the scheduled retry/post-abort step runs.
   if (kind == 0) {
     ++stats_.nested_aborts;
     // Conflict during the read step: a writer's GetM is in flight. Delay so
@@ -362,31 +375,33 @@ void Core::txcas_abort(int kind, AbortCause cause) {
   }
 }
 
-void Core::txcas_post_abort(std::shared_ptr<TxCasOp> op) {
-  start_load(op->addr, [this, op](Value v) {
+void Core::txcas_post_abort(TxCasOp* op) {
+  start_load(op->addr, DoneValFn([this, op](Value v) {
     if (v != op->expected) {
       ++stats_.txcas_fail;
       if (metrics_) metrics_->on_txcas_done(id_, op->attempt, false);
-      op->done(false);
+      auto done = std::move(op->done);
+      done(false);
     } else {
       txcas_attempt(op);
     }
-  });
+  }));
 }
 
-void Core::txcas_fallback(std::shared_ptr<TxCasOp> op) {
+void Core::txcas_fallback(TxCasOp* op) {
   ++stats_.fallbacks;
   if (metrics_) metrics_->on_txn_fallback(id_);
   start_rmw(Rmw::kCas, op->addr, op->expected, op->desired,
-            [this, op](Value ok) {
+            DoneValFn([this, op](Value ok) {
     if (ok != 0) {
       ++stats_.txcas_success;
     } else {
       ++stats_.txcas_fail;
     }
     if (metrics_) metrics_->on_txcas_done(id_, op->attempt, ok != 0);
-    op->done(ok != 0);
-  });
+    auto done = std::move(op->done);
+    done(ok != 0);
+  }));
 }
 
 // ---------------------------------------------------------------------------
@@ -394,32 +409,33 @@ void Core::txcas_fallback(std::shared_ptr<TxCasOp> op) {
 // ---------------------------------------------------------------------------
 
 void Core::ValueAwaiter::await_suspend(std::coroutine_handle<> h) {
-  auto done = [this, h](Value v) {
+  DoneValFn done([this, h](Value v) {
     result = v;
     h.resume();
-  };
+  });
   switch (kind) {
-    case 0: core->start_load(addr, done); break;
-    case 1: core->start_rmw(Rmw::kCas, addr, a0, a1, done); break;
-    case 2: core->start_rmw(Rmw::kFaa, addr, a0, a1, done); break;
-    case 3: core->start_rmw(Rmw::kSwap, addr, a0, a1, done); break;
+    case 0: core->start_load(addr, std::move(done)); break;
+    case 1: core->start_rmw(Rmw::kCas, addr, a0, a1, std::move(done)); break;
+    case 2: core->start_rmw(Rmw::kFaa, addr, a0, a1, std::move(done)); break;
+    case 3: core->start_rmw(Rmw::kSwap, addr, a0, a1, std::move(done)); break;
     default: assert(false);
   }
 }
 
 void Core::VoidAwaiter::await_suspend(std::coroutine_handle<> h) {
   if (kind == 0) {
-    core->start_store(addr, v, [h] { h.resume(); });
+    core->start_store(addr, v, DoneVoidFn([h] { h.resume(); }));
   } else {
     core->engine_.schedule(cycles == 0 ? 1 : cycles, [h] { h.resume(); });
   }
 }
 
 void Core::TxCasAwaiter::await_suspend(std::coroutine_handle<> h) {
-  core->start_txcas(addr, expected, desired, cfg, [this, h](bool ok) {
+  core->start_txcas(addr, expected, desired, cfg,
+                    DoneBoolFn([this, h](bool ok) {
     result = ok;
     h.resume();
-  });
+  }));
 }
 
 }  // namespace sbq::sim

@@ -26,12 +26,11 @@
 #include <cassert>
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <unordered_map>
-#include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/flat_map.hpp"
+#include "sim/inline_function.hpp"
+#include "sim/inline_vec.hpp"
 #include "sim/interconnect.hpp"
 #include "sim/message.hpp"
 #include "sim/stats.hpp"
@@ -40,6 +39,20 @@
 namespace sbq::sim {
 
 class Trace;
+
+// Inline callables for the request path (no heap allocation; a capture
+// that outgrows its capacity is a compile error, not a silent box). The
+// capacities are sized for the largest current capture with headroom:
+//   Done*Fn  — operation-completion callbacks (awaiter pointer + handle).
+//   ContFn   — acquire() continuations; the largest captures a Done*Fn
+//              plus the operation's arguments.
+//   WaiterFn — re-acquire closures parked on a pending line; each wraps a
+//              full ContFn.
+using DoneValFn = InlineFunction<void(Value), 32>;
+using DoneVoidFn = InlineFunction<void(), 32>;
+using DoneBoolFn = InlineFunction<void(bool), 32>;
+using ContFn = InlineFunction<void(), 104>;
+using WaiterFn = InlineFunction<void(), 192>;
 
 struct CoreStats {
   std::uint64_t loads = 0;
@@ -69,16 +82,15 @@ class Core {
   const CoreStats& stats() const noexcept { return stats_; }
 
   // ---- callback-style operation starters (cache/core internals) ----
-  void start_load(Addr a, std::function<void(Value)> done);
-  void start_store(Addr a, Value v, std::function<void()> done);
+  void start_load(Addr a, DoneValFn done);
+  void start_store(Addr a, Value v, DoneVoidFn done);
   enum class Rmw : std::uint8_t { kCas, kFaa, kSwap };
   // CAS: arg0 = expected, arg1 = desired, completes with 1/0.
   // FAA: arg0 = addend, completes with the old value.
   // SWAP: arg0 = new value, completes with the old value.
-  void start_rmw(Rmw kind, Addr a, Value arg0, Value arg1,
-                 std::function<void(Value)> done);
+  void start_rmw(Rmw kind, Addr a, Value arg0, Value arg1, DoneValFn done);
   void start_txcas(Addr a, Value expected, Value desired, TxCasConfig cfg,
-                   std::function<void(bool)> done);
+                   DoneBoolFn done);
 
   // Network entry point (registered with the interconnect).
   void handle(const Message& msg);
@@ -128,6 +140,11 @@ class Core {
     return {this, a, expected, desired, cfg};
   }
 
+  // Pre-size the private-cache line table for `n` distinct lines (the
+  // pending/waiter tables stay small: their churn is tombstone-cleaned).
+  // Setup-time allocation; see Machine::reserve_lines.
+  void reserve_lines(std::size_t n) { lines_.reserve(n); }
+
   // Test/bench introspection.
   enum class LineState : std::uint8_t { kInvalid, kShared, kModified, kOwned };
   LineState line_state(Addr a) const;
@@ -152,8 +169,8 @@ class Core {
     bool inv_after_data = false;    // Inv arrived while GetS in flight
     CoreId deferred_inv_requester = -1;
     bool txn_write = false;         // this GetM carries a transactional write
-    std::vector<Message> stalled_fwds;
-    std::function<void()> on_complete;
+    InlineVec<Message, 16> stalled_fwds;
+    ContFn on_complete;
   };
 
   // TxCAS transaction bookkeeping (one per core; cores run one thread).
@@ -166,23 +183,35 @@ class Core {
   };
 
   // -- op plumbing (core.cpp) --
-  void acquire(Addr a, bool want_m, std::function<void()> cont);
-  void issue_request(Addr a, bool want_m, std::function<void()> cont);
+  void acquire(Addr a, bool want_m, ContFn cont);
+  void issue_request(Addr a, bool want_m, ContFn cont);
   void finish_request(Addr a);       // data+acks all in: install the line
   void release_request(Addr a);      // op done: answer stalls, wake waiters
   void run_waiters(Addr a);
 
   // -- txcas state machine (core.cpp) --
-  struct TxCasOp;
-  void txcas_attempt(std::shared_ptr<TxCasOp> op);
-  void txcas_on_read_ready(std::shared_ptr<TxCasOp> op);
-  void txcas_enter_write(std::shared_ptr<TxCasOp> op);
-  void txcas_commit(std::shared_ptr<TxCasOp> op);
+  // One live TxCAS per core (each core runs one simulated thread), so the
+  // operation record lives in a per-core slot instead of a shared_ptr.
+  // Completion callbacks that may fire after the op finished (stale GetS /
+  // GetM completions of aborted attempts) carry the addr and attempt token
+  // by value and validate the token before touching the slot.
+  struct TxCasOp {
+    Addr addr = 0;
+    Value expected = 0;
+    Value desired = 0;
+    TxCasConfig cfg;
+    int attempt = 0;
+    DoneBoolFn done;
+  };
+  void txcas_attempt(TxCasOp* op);
+  void txcas_on_read_ready(TxCasOp* op, Addr a, std::uint64_t token);
+  void txcas_enter_write(TxCasOp* op);
+  void txcas_commit(TxCasOp* op);
   // Called from message handling on conflicts; `cause` attributes the abort
   // in the metrics registry (kind 0 = read/delay phase, 1 = write phase).
   void txcas_abort(int kind, AbortCause cause);
-  void txcas_post_abort(std::shared_ptr<TxCasOp> op);
-  void txcas_fallback(std::shared_ptr<TxCasOp> op);
+  void txcas_post_abort(TxCasOp* op);
+  void txcas_fallback(TxCasOp* op);
 
   // -- protocol message handling (cache.cpp) --
   void on_data(const Message& msg);
@@ -205,12 +234,13 @@ class Core {
   Stats* metrics_;  // machine-wide registry; may be null
   CoreId dir_;
 
-  std::unordered_map<Addr, Line> lines_;
-  std::unordered_map<Addr, Pending> pending_;
-  std::unordered_map<Addr, std::vector<std::function<void()>>> waiters_;
+  FlatMap<Line> lines_;
+  FlatMap<Pending> pending_;
+  FlatMap<InlineVec<WaiterFn, 4>> waiters_;
   Txn txn_;
   std::uint64_t delay_jitter_state_ = 0x9e3779b97f4a7c15ULL;
-  std::shared_ptr<TxCasOp> txn_op_;  // live TxCAS operation, if any
+  TxCasOp txcas_op_;          // per-core operation slot
+  TxCasOp* txn_op_ = nullptr; // points at txcas_op_ while a txn is active
   CoreStats stats_;
 };
 

@@ -7,11 +7,15 @@
 // simulated basket_insert can be an ordinary sub-coroutine.
 #pragma once
 
+#include <array>
 #include <coroutine>
+#include <cstddef>
 #include <cstdlib>
 #include <exception>
-#include <functional>
 #include <utility>
+#include <vector>
+
+#include "sim/inline_function.hpp"
 
 namespace sbq::sim {
 
@@ -20,9 +24,67 @@ class Task;
 
 namespace detail {
 
+// Frame pool for simulated-thread coroutines. Queue operations nest
+// sub-coroutines (enqueue -> protect -> try_append ...), so steady-state
+// traffic creates and destroys one frame per operation; recycling frames
+// through size-class freelists removes that heap churn (the whole-machine
+// allocs/event = 0 gate in sim_microbench). Pools are thread_local because
+// the parallel sweep runner drives one machine per thread, and a frame is
+// always freed on the thread that allocated it (machines never migrate).
+class FramePool {
+ public:
+  static constexpr std::size_t kGranularity = 64;
+  static constexpr std::size_t kClasses = 32;  // pool frames up to 2 KiB
+
+  static void* allocate(std::size_t n) {
+    const std::size_t cls = (n + kGranularity - 1) / kGranularity;
+    if (cls < kClasses) {
+      auto& bucket = pools().by_class[cls];
+      if (!bucket.empty()) {
+        void* p = bucket.back();
+        bucket.pop_back();
+        return p;
+      }
+      return ::operator new(cls * kGranularity);
+    }
+    return ::operator new(n);
+  }
+
+  static void deallocate(void* p, std::size_t n) noexcept {
+    const std::size_t cls = (n + kGranularity - 1) / kGranularity;
+    if (cls < kClasses) {
+      pools().by_class[cls].push_back(p);
+      return;
+    }
+    ::operator delete(p);
+  }
+
+ private:
+  struct Pools {
+    std::array<std::vector<void*>, kClasses> by_class;
+    ~Pools() {
+      for (auto& bucket : by_class) {
+        for (void* p : bucket) ::operator delete(p);
+      }
+    }
+  };
+  static Pools& pools() {
+    static thread_local Pools tp;
+    return tp;
+  }
+};
+
 struct PromiseBase {
   std::coroutine_handle<> continuation;
-  std::function<void()> on_done;  // set on root tasks by the machine
+  // Set on root tasks by the machine ([this] capture — never allocates).
+  InlineFunction<void(), 16> on_done;
+
+  // Coroutine frames are allocated through the promise: route them to the
+  // per-thread frame pool.
+  static void* operator new(std::size_t n) { return FramePool::allocate(n); }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    FramePool::deallocate(p, n);
+  }
 
   struct FinalAwaiter {
     bool await_ready() const noexcept { return false; }

@@ -28,12 +28,12 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "sim/engine.hpp"
+#include "sim/flat_map.hpp"
 #include "sim/interconnect.hpp"
 #include "sim/message.hpp"
+#include "sim/sharer_set.hpp"
 #include "sim/types.hpp"
 
 namespace sbq::sim {
@@ -52,6 +52,11 @@ class Directory {
   // valid only while the line is in I or S state.
   Value peek(Addr addr) const;
   void poke(Addr addr, Value value);
+
+  // Pre-size the line table for `n` distinct lines (setup-time allocation,
+  // so a bounded run's steady state never rehashes it — see
+  // Machine::reserve_lines).
+  void reserve_lines(std::size_t n) { lines_.reserve(n); }
 
   struct Stats {
     std::uint64_t gets = 0;
@@ -74,8 +79,8 @@ class Directory {
   struct Line {
     LineState state = LineState::kInvalid;
     CoreId owner = -1;
-    std::unordered_set<CoreId> sharers;  // excludes the owner
-    Value value = 0;                     // authoritative in I/S only
+    SharerSet sharers;  // excludes the owner
+    Value value = 0;    // authoritative in I/S only
   };
 
   void process(const Message& msg);
@@ -90,7 +95,7 @@ class Directory {
   Trace* trace_;
   CoreId self_;
   Time busy_until_ = 0;
-  std::unordered_map<Addr, Line> lines_;
+  FlatMap<Line> lines_;
   Stats stats_;
 };
 

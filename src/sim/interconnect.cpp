@@ -23,8 +23,7 @@ const char* msg_type_name(MsgType t) noexcept {
 Interconnect::Interconnect(Engine& engine, const MachineConfig& cfg, Trace* trace)
     : engine_(engine), cfg_(cfg), trace_(trace), handlers_(cfg.cores + 1) {}
 
-void Interconnect::set_handler(CoreId node,
-                               std::function<void(const Message&)> handler) {
+void Interconnect::set_handler(CoreId node, MessageHandlerFn handler) {
   assert(node >= 0 && node <= cfg_.cores);
   handlers_[static_cast<std::size_t>(node)] = std::move(handler);
 }

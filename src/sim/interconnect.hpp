@@ -8,10 +8,10 @@
 // stall-and-queue logic relies on for determinism.
 #pragma once
 
-#include <functional>
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/inline_function.hpp"
 #include "sim/message.hpp"
 #include "sim/types.hpp"
 
@@ -19,13 +19,18 @@ namespace sbq::sim {
 
 class Trace;
 
+// Delivery handlers capture at most a couple of pointers ([this] of a core
+// or directory, a test probe's references); keeping them inline removes
+// the std::function indirection from every message hop.
+using MessageHandlerFn = InlineFunction<void(const Message&), 32>;
+
 class Interconnect {
  public:
   // Node ids 0..cores-1 are cores; id `cores` is the directory/LLC, which
   // is homed on socket 0.
   Interconnect(Engine& engine, const MachineConfig& cfg, Trace* trace);
 
-  void set_handler(CoreId node, std::function<void(const Message&)> handler);
+  void set_handler(CoreId node, MessageHandlerFn handler);
 
   void send(CoreId src, CoreId dst, Message msg);
 
@@ -39,7 +44,7 @@ class Interconnect {
   Engine& engine_;
   MachineConfig cfg_;
   Trace* trace_;
-  std::vector<std::function<void(const Message&)>> handlers_;
+  std::vector<MessageHandlerFn> handlers_;
   std::uint64_t sent_ = 0;
 };
 

@@ -49,6 +49,18 @@ class Machine {
   // Register a simulated thread; it starts when run() is called.
   void spawn(Task<void> task);
 
+  // Pre-size the root-task table (spawn() otherwise grows it, which the
+  // sim_microbench allocation gate would count against the steady state).
+  void reserve_tasks(std::size_t n) { roots_.reserve(n); }
+
+  // Pre-size the directory's and every core's line table for `n` distinct
+  // lines. Bounded-address-range runs (the sim_microbench zero-alloc gate)
+  // call this once at setup so no line-table rehash lands mid-run.
+  void reserve_lines(std::size_t n) {
+    directory_->reserve_lines(n);
+    for (auto& c : cores_) c->reserve_lines(n);
+  }
+
   // Run the event loop until every spawned task finishes and the queue
   // drains. Returns the final simulated time. Aborts (assert) if the queue
   // drains with unfinished tasks (deadlock in the simulated program).
@@ -57,7 +69,9 @@ class Machine {
   // Bounded run for tests; returns false on timeout.
   bool run_until(Time limit);
 
-  std::size_t spawned() const noexcept { return roots_.size(); }
+  // Cumulative across the machine's lifetime (run() recycles the frames of
+  // finished root tasks, so these do not track the live roots_ table).
+  std::size_t spawned() const noexcept { return spawned_; }
   std::size_t finished() const noexcept { return finished_; }
 
  private:
@@ -69,6 +83,7 @@ class Machine {
   std::unique_ptr<Directory> directory_;
   std::vector<std::unique_ptr<Core>> cores_;
   std::vector<std::coroutine_handle<Task<void>::promise_type>> roots_;
+  std::size_t spawned_ = 0;
   std::size_t finished_ = 0;
   Addr next_addr_ = 1;  // 0 is NULL
   bool started_ = false;

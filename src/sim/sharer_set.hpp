@@ -1,0 +1,311 @@
+// SharerSet — bitmask sharer tracking with schedule-stable iteration.
+//
+// Membership lives in uint64_t words indexed by core id, so contains() is
+// one bit test and size() is a counter: the §3.3 invalidate-all-sharers
+// broadcast no longer hashes per sharer. The subtle part is iteration
+// order. The order in which the directory walks the sharer set decides the
+// delivery order of back-to-back invalidations, which (through per-core
+// abort/retry timing) is *schedule-visible*: replaying the seed with
+// sharers iterated in ascending id order changes the printed tables of
+// 9 of the 11 figure drivers. Since this refactor must keep every driver
+// byte-identical, SharerSet carries — next to the bitmask — a compact
+// replica of the seed container's (libstdc++ std::unordered_set<int>)
+// bucket chain: per-id `next` links, a before-begin head, a bucket ->
+// "node before the bucket's first element" table, and the library's own
+// std::__detail::_Prime_rehash_policy instance so bucket growth happens at
+// exactly the same insertions. insert/erase/rehash transcribe the
+// _Hashtable insert-at-bucket-begin / unlink / rehash algorithms
+// (sharer_set_test fuzzes the replica against the real container).
+//
+// The chain costs three small per-line arrays that grow to the largest
+// core id seen. Each array carries inline storage (SmallBuf) sized so that
+// machines of up to kInlineIds cores never heap-allocate per line — fresh
+// lines (every new basket node) would otherwise charge a handful of
+// allocations against the sim_microbench whole-machine zero-alloc gate.
+// Larger machines spill to the heap transparently. A future PR can drop
+// the chain entirely behind a MachineConfig switch once canonical
+// ascending-order invalidation is an accepted (re-baselined) schedule; see
+// ROADMAP "Open items".
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <unordered_set>  // for std::__detail::_Prime_rehash_policy
+#include <utility>
+
+#include "sim/types.hpp"
+
+namespace sbq::sim {
+
+namespace detail {
+
+// Fixed-fill resizable buffer of a trivial T with N elements inline.
+// Covers exactly what SharerSet needs (resize-with-fill, assign-with-fill,
+// indexing); spills to the heap beyond N and never shrinks.
+template <typename T, std::size_t N>
+class SmallBuf {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  SmallBuf() noexcept = default;
+  SmallBuf(const SmallBuf& o) { copy_from(o); }
+  SmallBuf& operator=(const SmallBuf& o) {
+    if (this != &o) {
+      size_ = 0;
+      copy_from(o);
+    }
+    return *this;
+  }
+  SmallBuf(SmallBuf&& o) noexcept { steal(o); }
+  SmallBuf& operator=(SmallBuf&& o) noexcept {
+    if (this != &o) {
+      release();
+      steal(o);
+    }
+    return *this;
+  }
+  ~SmallBuf() { release(); }
+
+  std::size_t size() const noexcept { return size_; }
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  // Grow to `n` elements, new slots set to `fill` (no-op shrink excluded:
+  // SharerSet only ever grows these buffers).
+  void resize(std::size_t n, T fill) {
+    ensure(n);
+    for (std::size_t i = size_; i < n; ++i) data_[i] = fill;
+    size_ = n;
+  }
+
+  void assign(std::size_t n, T fill) {
+    ensure(n);
+    for (std::size_t i = 0; i < n; ++i) data_[i] = fill;
+    size_ = n;
+  }
+
+ private:
+  void ensure(std::size_t n) {
+    if (n <= cap_) return;
+    const std::size_t cap = std::max(n, cap_ * 2);
+    T* heap = new T[cap];
+    std::copy(data_, data_ + size_, heap);
+    release();
+    data_ = heap;
+    cap_ = cap;
+  }
+  void release() noexcept {
+    if (data_ != inline_) delete[] data_;
+    data_ = inline_;
+    cap_ = N;
+  }
+  void copy_from(const SmallBuf& o) {
+    ensure(o.size_);
+    std::copy(o.data_, o.data_ + o.size_, data_);
+    size_ = o.size_;
+  }
+  void steal(SmallBuf& o) noexcept {
+    if (o.data_ == o.inline_) {
+      std::copy(o.inline_, o.inline_ + o.size_, inline_);
+      size_ = o.size_;
+    } else {
+      data_ = std::exchange(o.data_, o.inline_);
+      cap_ = std::exchange(o.cap_, N);
+      size_ = o.size_;
+    }
+    o.size_ = 0;
+  }
+
+  T inline_[N];
+  T* data_ = inline_;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace detail
+
+class SharerSet {
+ public:
+  // Inline-storage sizing: the chain links cover core ids < kInlineIds, and
+  // the bucket array stays inline through _Prime_rehash_policy's first two
+  // growth steps (13 then 29 buckets, good for up to 29 simultaneous
+  // sharers at max load factor 1.0). So machines of up to 16 cores never
+  // heap-allocate per line; one bitmask word covers 64 cores — more than
+  // any evaluated configuration.
+  static constexpr std::size_t kInlineIds = 16;
+  static constexpr std::size_t kInlineBuckets = 32;
+  static constexpr std::size_t kInlineWords = 1;
+
+  SharerSet() = default;
+
+  bool contains(CoreId id) const noexcept {
+    const auto w = static_cast<std::size_t>(id) >> 6;
+    return w < words_.size() &&
+           (words_[w] >> (static_cast<std::size_t>(id) & 63)) & 1;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  // One word per 64 cores; popcount over words() gives the sharer count
+  // without touching the order chain.
+  const detail::SmallBuf<std::uint64_t, kInlineWords>& words() const noexcept {
+    return words_;
+  }
+
+  void insert(CoreId id) {
+    assert(id >= 0 && "sharer ids are non-negative core ids");
+    if (contains(id)) return;
+    ensure_capacity(id);
+    const auto need =
+        policy_._M_need_rehash(bucket_count_, size_, /*n_ins=*/1);
+    if (need.first) rehash(need.second);
+    insert_bucket_begin(bucket_of(id), id);
+    words_[static_cast<std::size_t>(id) >> 6] |=
+        std::uint64_t{1} << (static_cast<std::size_t>(id) & 63);
+    ++size_;
+  }
+
+  std::size_t erase(CoreId id) {
+    if (!contains(id)) return 0;
+    const std::size_t bkt = bucket_of(id);
+    // Find the node before `id` in the global chain, starting from the
+    // bucket's before-node (the bucket is non-empty: it holds `id`).
+    const std::int32_t before = bucket_before_[bkt];
+    std::int32_t prev = before;
+    std::int32_t cur = (before == kBeforeBegin) ? head_ : next_[before];
+    while (cur != id) {
+      prev = cur;
+      cur = next_[cur];
+    }
+    const std::int32_t next = next_[id];
+    if (prev == before) {
+      // Removing the bucket's first element (_M_remove_bucket_begin).
+      const std::size_t next_bkt = (next == kEnd) ? 0 : bucket_of(next);
+      if (next == kEnd || next_bkt != bkt) {
+        if (next != kEnd) bucket_before_[next_bkt] = bucket_before_[bkt];
+        if (bucket_before_[bkt] == kBeforeBegin) head_ = next;
+        bucket_before_[bkt] = kEmptyBucket;
+      }
+    } else if (next != kEnd) {
+      const std::size_t next_bkt = bucket_of(next);
+      if (next_bkt != bkt) bucket_before_[next_bkt] = prev;
+    }
+    if (prev == kBeforeBegin) {
+      head_ = next;
+    } else {
+      next_[prev] = next;
+    }
+    words_[static_cast<std::size_t>(id) >> 6] &=
+        ~(std::uint64_t{1} << (static_cast<std::size_t>(id) & 63));
+    --size_;
+    return 1;
+  }
+
+  void clear() noexcept {
+    // Like unordered_set::clear(): drop the elements, keep the bucket
+    // array and the rehash policy's growth state.
+    head_ = kEnd;
+    size_ = 0;
+    bucket_before_.assign(bucket_before_.size(), kEmptyBucket);
+    words_.assign(words_.size(), 0);
+  }
+
+  class const_iterator {
+   public:
+    using value_type = CoreId;
+    const_iterator(const SharerSet* s, std::int32_t id) : set_(s), id_(id) {}
+    CoreId operator*() const noexcept { return id_; }
+    const_iterator& operator++() noexcept {
+      id_ = set_->next_[id_];
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const noexcept {
+      return id_ == o.id_;
+    }
+    bool operator!=(const const_iterator& o) const noexcept {
+      return id_ != o.id_;
+    }
+
+   private:
+    const SharerSet* set_;
+    std::int32_t id_;
+  };
+
+  const_iterator begin() const noexcept { return {this, head_}; }
+  const_iterator end() const noexcept { return {this, kEnd}; }
+
+  // Exposed for the differential test.
+  std::size_t bucket_count() const noexcept { return bucket_count_; }
+
+ private:
+  static constexpr std::int32_t kEnd = -1;          // end of the chain
+  static constexpr std::int32_t kBeforeBegin = -2;  // virtual head node
+  static constexpr std::int32_t kEmptyBucket = -3;
+
+  std::size_t bucket_of(std::int32_t id) const noexcept {
+    // std::hash<int> is the identity; ids are non-negative.
+    return static_cast<std::size_t>(id) % bucket_count_;
+  }
+
+  void ensure_capacity(CoreId id) {
+    const auto need_words = (static_cast<std::size_t>(id) >> 6) + 1;
+    if (words_.size() < need_words) words_.resize(need_words, 0);
+    if (next_.size() <= static_cast<std::size_t>(id))
+      next_.resize(static_cast<std::size_t>(id) + 1, kEnd);
+  }
+
+  // _Hashtable::_M_insert_bucket_begin: new elements go to the *front* of
+  // their bucket; an empty bucket hooks its chain at the global front.
+  void insert_bucket_begin(std::size_t bkt, std::int32_t id) {
+    if (bucket_before_[bkt] != kEmptyBucket) {
+      const std::int32_t before = bucket_before_[bkt];
+      if (before == kBeforeBegin) {
+        next_[id] = head_;
+        head_ = id;
+      } else {
+        next_[id] = next_[before];
+        next_[before] = id;
+      }
+    } else {
+      next_[id] = head_;
+      head_ = id;
+      if (next_[id] != kEnd) bucket_before_[bucket_of(next_[id])] = id;
+      bucket_before_[bkt] = kBeforeBegin;
+    }
+  }
+
+  // _Hashtable::_M_rehash_aux (unique keys): walk the chain in iteration
+  // order, re-hooking every node with the insert-at-bucket-begin rule.
+  void rehash(std::size_t new_count) {
+    bucket_before_.assign(new_count, kEmptyBucket);
+    bucket_count_ = new_count;
+    std::int32_t cur = head_;
+    head_ = kEnd;
+    while (cur != kEnd) {
+      const std::int32_t next = next_[cur];
+      insert_bucket_begin(bucket_of(cur), cur);
+      cur = next;
+    }
+  }
+
+  // membership bitmask, bit = core id
+  detail::SmallBuf<std::uint64_t, kInlineWords> words_;
+  // chain link per id (valid iff member)
+  detail::SmallBuf<std::int32_t, kInlineIds> next_;
+  // Per bucket: id of the chain node *before* the bucket's first element,
+  // kBeforeBegin when that is the virtual head, kEmptyBucket when empty.
+  // Empty until the first rehash (bucket_count_ == 1 holds no elements:
+  // the policy forces a rehash on the first insertion, exactly like a
+  // default-constructed unordered_set).
+  detail::SmallBuf<std::int32_t, kInlineBuckets> bucket_before_;
+  std::int32_t head_ = kEnd;
+  std::size_t size_ = 0;
+  std::size_t bucket_count_ = 1;
+  std::__detail::_Prime_rehash_policy policy_;
+};
+
+}  // namespace sbq::sim

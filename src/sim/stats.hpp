@@ -25,9 +25,9 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/flat_map.hpp"
 #include "sim/types.hpp"
 
 namespace sbq::sim {
@@ -158,9 +158,7 @@ class Stats {
   const BasketCounters& basket() const noexcept { return basket_; }
   // Per-line counters (empty unless track_lines). line(a) returns a zero
   // block for lines that saw no events.
-  const std::unordered_map<Addr, ProtocolCounters>& lines() const noexcept {
-    return lines_;
-  }
+  const FlatMap<ProtocolCounters>& lines() const noexcept { return lines_; }
   const ProtocolCounters& line(Addr a) const;
 
   int core_count() const noexcept {
@@ -178,7 +176,7 @@ class Stats {
   BasketCounters basket_;
   std::vector<ProtocolCounters> per_core_protocol_;
   std::vector<HtmCounters> per_core_htm_;
-  std::unordered_map<Addr, ProtocolCounters> lines_;
+  FlatMap<ProtocolCounters> lines_;
 };
 
 }  // namespace sbq::sim
