@@ -42,12 +42,14 @@ struct Result {
   sim::MetricsSnapshot metrics;
 };
 
-Result run(int writers, int readers, bool remote_readers, bool fix, Value ops,
-           std::uint64_t seed, const std::string& trace_path = {}) {
+Result run(int writers, int readers, bool remote_readers, bool fix,
+           sim::InterconnectModel net, Value ops, std::uint64_t seed,
+           const std::string& trace_path = {}) {
   sim::MachineConfig mcfg;
   mcfg.cores = 2 * (writers + readers);
   mcfg.sockets = 2;
   mcfg.uarch_fix = fix;
+  mcfg.interconnect_model = net;
   mcfg.record_trace = !trace_path.empty();
   Machine m(mcfg);
   const int per_socket = mcfg.cores / 2;
@@ -125,24 +127,38 @@ int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
   const sim::Value ops = opts.ops_or(400);
 
+  // Every interconnect parameter the swept machines use goes in the header
+  // (and the JSON config below): the flat/link divergence is meaningless
+  // without the link's bandwidth figures next to it.
+  const sim::MachineConfig defaults;
   std::cout << "# 4.3 ablation: TxCAS writers (socket 0) with polling "
                "readers, local vs remote\n# (" << ops
-            << " writer ops each; readers poll the TxCAS target)\n";
-  Table table({"writers", "readers", "reader_socket", "fix", "latency_ns",
-               "attempts/call", "tripped/call", "fix_stalls/call"});
+            << " writer ops each; readers poll the TxCAS target)\n"
+            << "# interconnect: sockets=2 intra_latency="
+            << defaults.intra_latency
+            << " inter_latency=" << defaults.inter_latency
+            << " link_occupancy=" << defaults.link_occupancy
+            << " models=flat,link\n";
+  Table table({"writers", "readers", "reader_socket", "net", "fix",
+               "latency_ns", "attempts/call", "tripped/call",
+               "fix_stalls/call"});
   if (!opts.csv) table.stream_to(std::cout);
   struct Combo {
     int writers;
     int readers;
     bool remote;
+    sim::InterconnectModel net;
     bool fix;
   };
   std::vector<Combo> combos;
   for (int writers : {1, 2, 4}) {
     for (int readers : {2, 6}) {
       for (bool remote : {false, true}) {
-        for (bool fix : {false, true}) {
-          combos.push_back({writers, readers, remote, fix});
+        for (sim::InterconnectModel net :
+             {sim::InterconnectModel::kFlat, sim::InterconnectModel::kLink}) {
+          for (bool fix : {false, true}) {
+            combos.push_back({writers, readers, remote, net, fix});
+          }
         }
       }
     }
@@ -150,23 +166,38 @@ int main(int argc, char** argv) {
   BenchReport report("ablation_numa");
   report.set_config("seed", Json(static_cast<std::uint64_t>(opts.seed)));
   report.set_config("ops_per_writer", Json(static_cast<std::uint64_t>(ops)));
+  report.set_config("sockets", Json(2));
+  report.set_config("intra_latency",
+                    Json(static_cast<std::uint64_t>(defaults.intra_latency)));
+  report.set_config("inter_latency",
+                    Json(static_cast<std::uint64_t>(defaults.inter_latency)));
+  report.set_config("link_occupancy",
+                    Json(static_cast<std::uint64_t>(defaults.link_occupancy)));
+  {
+    Json models = Json::array();
+    models.push_back(Json("flat"));
+    models.push_back(Json("link"));
+    report.set_config("interconnect_models", std::move(models));
+  }
   report.set("ns_per_cycle", Json(ns_per_cycle()));
   std::vector<Result> results(combos.size());
   run_sweep_cells(
       combos.size(), 1, opts.effective_jobs(),
       [&](std::size_t i) {
         const Combo& c = combos[i];
-        results[i] = run(c.writers, c.readers, c.remote, c.fix, ops,
+        results[i] = run(c.writers, c.readers, c.remote, c.fix, c.net, ops,
                          opts.seed);
       },
       [&](std::size_t row) {
         const Combo& c = combos[row];
         const Result& r = results[row];
+        const bool link = c.net == sim::InterconnectModel::kLink;
         if (!opts.json_path.empty()) {
           Json cj = Json::object();
           cj.set("writers", Json(c.writers));
           cj.set("readers", Json(c.readers));
           cj.set("reader_socket", Json(c.remote ? "remote" : "local"));
+          cj.set("interconnect", Json(link ? "link" : "flat"));
           cj.set("uarch_fix", Json(c.fix));
           cj.set("latency_ns", Json(r.latency_ns));
           cj.set("attempts_per_call", Json(r.attempts_per_call));
@@ -181,8 +212,8 @@ int main(int argc, char** argv) {
         std::snprintf(trip, sizeof trip, "%.3f", r.tripped_per_call);
         std::snprintf(st, sizeof st, "%.3f", r.stalls_per_call);
         table.add_row({std::to_string(c.writers), std::to_string(c.readers),
-                       c.remote ? "remote" : "local", c.fix ? "on" : "off",
-                       lat, att, trip, st});
+                       c.remote ? "remote" : "local", link ? "link" : "flat",
+                       c.fix ? "on" : "off", lat, att, trip, st});
       });
   table.print(std::cout, opts.csv);
   std::cout << "\n(Remote readers hold the commit window open across the "
@@ -193,9 +224,10 @@ int main(int argc, char** argv) {
     if (!report.write(opts.json_path)) return 1;
   }
   if (!opts.trace_path.empty()) {
-    // Traced cell: remote readers, fix off — the cross-socket trip pattern.
+    // Traced cell: remote readers, link model, fix off — the contended
+    // cross-socket trip pattern.
     run(/*writers=*/1, /*readers=*/2, /*remote_readers=*/true, /*fix=*/false,
-        ops, opts.seed, opts.trace_path);
+        sim::InterconnectModel::kLink, ops, opts.seed, opts.trace_path);
   }
   return 0;
 }

@@ -44,6 +44,9 @@ int main(int argc, char** argv) {
     spec.consumers = t;
     spec.ops_per_thread = ops;
     spec.seed = opts.seed + static_cast<std::uint64_t>(repeat) * 7919;
+    // Repeat-independent, so repeats of one (row, queue) group share one
+    // warmed snapshot and forking stays byte-identical to --cold-start.
+    spec.prefill_seed = opts.seed;
     return std::pair(mcfg, spec);
   };
   run_queue_sweep(
@@ -62,7 +65,8 @@ int main(int argc, char** argv) {
           out.push_back(lat.mean());
         }
         table.add_row(out);
-      });
+      },
+      opts.cold_start);
   if (opts.csv) {
     std::cout << "\n## Dequeue latency [ns/op] (lower is better)\n";
     table.print(std::cout, opts.csv);

@@ -49,6 +49,9 @@ int main(int argc, char** argv) {
     spec.ops_per_thread = ops;
     spec.prefill = static_cast<simq::Value>(half) * ops / 2;
     spec.seed = opts.seed + static_cast<std::uint64_t>(repeat) * 7919;
+    // Repeat-independent, so repeats of one (row, queue) group share one
+    // warmed snapshot and forking stays byte-identical to --cold-start.
+    spec.prefill_seed = opts.seed;
     return std::pair(mcfg, spec);
   };
   run_queue_sweep(
@@ -72,7 +75,8 @@ int main(int argc, char** argv) {
           out.push_back(dur.mean());
         }
         table.add_row(out);
-      });
+      },
+      opts.cold_start);
   if (opts.csv) {
     std::cout << "\n## Normalized duration [ns/op] (lower is better)\n";
     table.print(std::cout, opts.csv);

@@ -8,12 +8,15 @@
 // emitted tables are byte-identical to a serial run.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -88,40 +91,81 @@ struct WorkloadSpec {
   simq::Value ops_per_thread = 1000;
   simq::Value prefill = 0;      // mixed only
   std::uint64_t seed = 1;
+  // Seed of the un-measured prefill phase; 0 means "use `seed`". Sweeps
+  // that fork repeats from one warmed snapshot MUST set this to a value
+  // that does not vary across repeats — the snapshot is shared, so the
+  // prefill schedule must be too (the per-repeat variation lives entirely
+  // in `seed`, which only the measured phase consumes).
+  std::uint64_t prefill_seed = 0;
   int basket_capacity = 44;     // the paper's fixed B
 };
 
-// Runs `spec` for the named queue on machine `m`. The machine must have
-// enough cores: producer-only/consumer-only use cores [0, threads);
+inline std::uint64_t effective_prefill_seed(const WorkloadSpec& spec) {
+  return spec.prefill_seed == 0 ? spec.seed : spec.prefill_seed;
+}
+
+// Run `spec`'s un-measured prefill phase (no-op for producer-only) on
+// machine `m`, leaving it quiescent.
+template <typename QueueT>
+void prefill_spec(sim::Machine& m, QueueT& q, const WorkloadSpec& spec) {
+  const std::uint64_t pseed = effective_prefill_seed(spec);
+  switch (spec.kind) {
+    case Workload::kProducerOnly:
+      return;  // starts from an empty queue
+    case Workload::kConsumerOnly:
+      simq::run_prefill(m, q, spec.producers,
+                        simq::consumer_only_per_producer(
+                            spec.producers, spec.consumers,
+                            spec.ops_per_thread),
+                        pseed);
+      return;
+    case Workload::kMixed:
+      simq::run_prefill(m, q, spec.producers,
+                        simq::mixed_per_producer(spec.producers, spec.prefill),
+                        pseed);
+      return;
+  }
+  throw std::logic_error("bad workload");
+}
+
+// Run `spec`'s measured phase; any prefill must already have happened (on
+// this machine or on the snapshot it was forked from). The machine must
+// have enough cores: producer-only/consumer-only use cores [0, threads);
 // mixed puts consumers at [cores/2, ...).
 template <typename QueueT>
-SimRunResult run_spec(sim::Machine& m, QueueT& q, const WorkloadSpec& spec,
-                      int consumer_id_offset) {
+SimRunResult measure_spec(sim::Machine& m, QueueT& q, const WorkloadSpec& spec,
+                          int consumer_id_offset) {
   switch (spec.kind) {
     case Workload::kProducerOnly:
       return simq::run_producer_only(m, q, spec.producers, spec.ops_per_thread,
                                      spec.seed);
     case Workload::kConsumerOnly:
-      return simq::run_consumer_only(m, q, spec.producers, spec.consumers,
-                                     spec.ops_per_thread, spec.seed,
-                                     consumer_id_offset);
+      return simq::measure_consumer_only(m, q, spec.consumers,
+                                         spec.ops_per_thread, spec.seed,
+                                         consumer_id_offset);
     case Workload::kMixed:
-      return simq::run_mixed(m, q, spec.producers, spec.consumers,
-                             spec.ops_per_thread, spec.prefill, spec.seed,
-                             consumer_id_offset);
+      return simq::measure_mixed(m, q, spec.producers, spec.consumers,
+                                 spec.ops_per_thread, spec.seed,
+                                 consumer_id_offset);
   }
   throw std::logic_error("bad workload");
 }
 
-// `post_run`, when set, is called with the machine after the workload
-// completes (and before it is torn down) — used by --trace to export the
-// event ring of a representative cell.
-inline SimRunResult run_queue_workload(
-    QueueKind kind, const sim::MachineConfig& mcfg, const WorkloadSpec& spec,
-    const std::function<void(sim::Machine&)>& post_run = {}) {
-  sim::Machine m(mcfg);
+// Both phases on one machine.
+template <typename QueueT>
+SimRunResult run_spec(sim::Machine& m, QueueT& q, const WorkloadSpec& spec,
+                      int consumer_id_offset) {
+  prefill_spec(m, q, spec);
+  return measure_spec(m, q, spec, consumer_id_offset);
+}
+
+// Construct the queue `kind` prescribes on machine `m` and invoke
+// fn(queue, consumer_id_offset) with it — the one place the QueueKind ->
+// class mapping lives.
+template <typename Fn>
+decltype(auto) with_queue(QueueKind kind, sim::Machine& m,
+                          const WorkloadSpec& spec, Fn&& fn) {
   const int single_space_offset = spec.producers;
-  SimRunResult result;
   switch (kind) {
     case QueueKind::kSbqHtm:
     case QueueKind::kSbqCas: {
@@ -132,34 +176,107 @@ inline SimRunResult run_queue_workload(
       qc.variant = kind == QueueKind::kSbqHtm ? simq::SbqVariant::kHtm
                                               : simq::SbqVariant::kCas;
       simq::SimSbq q(m, qc);
-      result = run_spec(m, q, spec, /*consumer_id_offset=*/0);
-      break;
+      return fn(q, /*consumer_id_offset=*/0);
     }
     case QueueKind::kWfQueue: {
       simq::SimFaaQueue q(m, {});
-      result = run_spec(m, q, spec, single_space_offset);
-      break;
+      return fn(q, single_space_offset);
     }
     case QueueKind::kBqOriginal: {
       simq::SimBasketsQueue q(m, {});
       q.set_dequeuers(spec.producers + spec.consumers + 1);
-      result = run_spec(m, q, spec, single_space_offset);
-      break;
+      return fn(q, single_space_offset);
     }
     case QueueKind::kCcQueue: {
       simq::SimCcQueue q(m, {.threads = spec.producers + spec.consumers + 1});
-      result = run_spec(m, q, spec, single_space_offset);
-      break;
+      return fn(q, single_space_offset);
     }
     case QueueKind::kMsQueue: {
       simq::SimMsQueue q(m, {});
-      result = run_spec(m, q, spec, single_space_offset);
-      break;
+      return fn(q, single_space_offset);
     }
   }
+  throw std::logic_error("bad QueueKind");
+}
+
+// `post_run`, when set, is called with the machine after the workload
+// completes (and before it is torn down) — used by --trace to export the
+// event ring of a representative cell.
+inline SimRunResult run_queue_workload(
+    QueueKind kind, const sim::MachineConfig& mcfg, const WorkloadSpec& spec,
+    const std::function<void(sim::Machine&)>& post_run = {}) {
+  sim::Machine m(mcfg);
+  SimRunResult result = with_queue(kind, m, spec, [&](auto& q, int offset) {
+    return run_spec(m, q, spec, offset);
+  });
   if (post_run) post_run(m);
   return result;
 }
+
+// A workload warmed once, forkable many times: builds a machine, constructs
+// the queue, runs the (repeat-independent) prefill phase, and takes a
+// Machine::snapshot. Each run_repeat() forks a machine from the snapshot,
+// copies the prototype queue's host-side state, rebinds the copy to the
+// fork, and runs the measured phase — byte-identical to cold-starting the
+// same cell, at a fraction of the warm-up cost. Const access is
+// thread-safe: run_repeat only reads the captured snapshot and prototype,
+// so sweep workers can fork repeats of one group concurrently.
+class WarmedWorkload {
+ public:
+  WarmedWorkload() = default;
+
+  WarmedWorkload(QueueKind kind, const sim::MachineConfig& mcfg,
+                 const WorkloadSpec& warm_spec) {
+    with_queue_type(kind, mcfg, warm_spec);
+  }
+
+  // `spec` must match warm_spec in everything but `seed` (the prefill is
+  // already baked into the snapshot; only the measured phase runs).
+  SimRunResult run_repeat(
+      const WorkloadSpec& spec,
+      const std::function<void(sim::Machine&)>& post_run = {}) const {
+    return run_(spec, post_run);
+  }
+
+  explicit operator bool() const noexcept { return static_cast<bool>(run_); }
+
+ private:
+  template <typename QueueT>
+  void capture(std::shared_ptr<sim::Machine> warm,
+               std::shared_ptr<QueueT> proto, int offset) {
+    auto snap =
+        std::make_shared<const sim::MachineSnapshot>(warm->snapshot());
+    // `warm` stays captured: the prototype holds a Machine* into it (never
+    // dereferenced after the snapshot — every fork rebinds its copy — but
+    // keeping it alive keeps the pointer valid by construction).
+    run_ = [warm = std::move(warm), proto = std::move(proto),
+            snap = std::move(snap),
+            offset](const WorkloadSpec& spec,
+                    const std::function<void(sim::Machine&)>& post_run) {
+      auto m = sim::Machine::fork(*snap);
+      QueueT q(*proto);
+      q.rebind(*m);
+      SimRunResult result = measure_spec(*m, q, spec, offset);
+      if (post_run) post_run(*m);
+      return result;
+    };
+  }
+
+  void with_queue_type(QueueKind kind, const sim::MachineConfig& mcfg,
+                       const WorkloadSpec& spec) {
+    auto warm = std::make_shared<sim::Machine>(mcfg);
+    with_queue(kind, *warm, spec, [&](auto& q, int offset) {
+      using QueueT = std::remove_reference_t<decltype(q)>;
+      auto proto = std::make_shared<QueueT>(std::move(q));
+      prefill_spec(*warm, *proto, spec);
+      capture<QueueT>(warm, std::move(proto), offset);
+    });
+  }
+
+  std::function<SimRunResult(const WorkloadSpec&,
+                             const std::function<void(sim::Machine&)>&)>
+      run_;
+};
 
 // Name-based shim for callers outside the sweep hot path (resolves the
 // name on every call; sweeps should resolve once and pass QueueKind).
@@ -189,23 +306,56 @@ struct QueueSweepResults {
 // is applied by the runner). `row_done(row, results)` is called on the
 // calling thread, in row order, as soon as a row's cells all finish —
 // drivers use it to stream finished table rows.
+//
+// By default repeats of one (row, queue) group share a warmed snapshot:
+// the group's prefill runs once, and each repeat forks a machine from it
+// (WarmedWorkload) — byte-identical to a cold start because the prefill
+// schedule depends only on spec.prefill_seed, which `make` must keep
+// constant across repeats. `cold_start` forces the old path (every cell
+// warms its own machine); drivers expose it as --cold-start so the
+// equivalence stays checkable from the command line.
 template <typename MakeSpec, typename RowDone>
 void run_queue_sweep(const std::vector<int>& rows,
                      const std::vector<QueueKind>& queues, int repeats,
-                     int jobs, MakeSpec make, RowDone row_done) {
+                     int jobs, MakeSpec make, RowDone row_done,
+                     bool cold_start = false) {
   QueueSweepResults res;
   res.queues = queues.size();
   res.repeats = static_cast<std::size_t>(repeats);
   const std::size_t cells_per_row = res.queues * res.repeats;
   res.cells.resize(rows.size() * cells_per_row);
-  run_sweep_cells(
-      rows.size(), cells_per_row, jobs,
-      [&](std::size_t i) {
-        const std::size_t row = i / cells_per_row;
-        const std::size_t queue = (i % cells_per_row) / res.repeats;
-        const int repeat = static_cast<int>(i % res.repeats);
-        const auto [mcfg, spec] = make(rows[row], repeat);
-        res.cells[i] = run_queue_workload(queues[queue], mcfg, spec);
+  if (cold_start) {
+    run_sweep_cells(
+        rows.size(), cells_per_row, jobs,
+        [&](std::size_t i) {
+          const std::size_t row = i / cells_per_row;
+          const std::size_t queue = (i % cells_per_row) / res.repeats;
+          const int repeat = static_cast<int>(i % res.repeats);
+          const auto [mcfg, spec] = make(rows[row], repeat);
+          res.cells[i] = run_queue_workload(queues[queue], mcfg, spec);
+        },
+        [&](std::size_t row) { row_done(row, res); });
+    return;
+  }
+  // Fork path: one work item per (row, queue) group. Each group's slot in
+  // `warmed` is touched by exactly one worker (run_sweep_groups contract),
+  // and is released after the group's last repeat to bound live snapshots
+  // to in-flight groups.
+  std::vector<WarmedWorkload> warmed(rows.size() * res.queues);
+  run_sweep_groups(
+      rows.size(), res.queues, res.repeats, jobs,
+      [&](std::size_t g) {
+        const std::size_t row = g / res.queues;
+        const auto [mcfg, spec] = make(rows[row], /*repeat=*/0);
+        warmed[g] = WarmedWorkload(queues[g % res.queues], mcfg, spec);
+      },
+      [&](std::size_t g, std::size_t c) {
+        const std::size_t row = g / res.queues;
+        const std::size_t queue = g % res.queues;
+        const auto [mcfg, spec] = make(rows[row], static_cast<int>(c));
+        res.cells[(row * res.queues + queue) * res.repeats + c] =
+            warmed[g].run_repeat(spec);
+        if (c + 1 == res.repeats) warmed[g] = WarmedWorkload();
       },
       [&](std::size_t row) { row_done(row, res); });
 }

@@ -30,9 +30,23 @@ for bin in fig5_enqueue fig6_dequeue fig7_mixed engine_microbench sim_microbench
 done
 
 python3 - "$BUILD_DIR" "$RUNS" "$BEFORE" <<'EOF'
-import json, os, platform, subprocess, sys, tempfile, time
+import json, os, platform, re, subprocess, sys, tempfile, time
 
 build, runs, before_path = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+
+def sim_config():
+    # The machine-model configuration the timed drivers run under: the
+    # MachineConfig defaults, read from the source of truth so the record
+    # can't drift from the code.
+    src = open("src/sim/types.hpp").read()
+    model = re.search(r"interconnect_model\s*=\s*InterconnectModel::k(\w+)",
+                      src).group(1).lower()
+    canonical = re.search(r"canonical_inv_order\s*=\s*(true|false)",
+                          src).group(1) == "true"
+    occupancy = int(re.search(r"link_occupancy\s*=\s*(\d+)", src).group(1))
+    return {"interconnect_model": model,
+            "link_occupancy": occupancy,
+            "inv_order": "canonical" if canonical else "legacy"}
 FIG_ARGS = ["--threads", "2,4,8,16,32", "--ops", "100", "--repeats", "2",
             "--jobs", "1"]
 FIGS = ["fig5_enqueue", "fig6_dequeue", "fig7_mixed"]
@@ -68,6 +82,7 @@ report = {
     "schema": "sbq.bench-baseline/1",
     "machine": {"platform": platform.platform(),
                 "cpus": os.cpu_count()},
+    "sim_config": sim_config(),
     "figures": {d: run_timed(d) for d in FIGS},
     "microbench": {
         "engine_microbench": run_micro(

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Regenerate or verify the golden stdout+JSON baselines of every figure and
+# ablation driver (tests/golden/<driver>.{stdout,json}), captured at the
+# smoke sweep arguments (--threads 1,2 --ops 20 --repeats 1 --jobs 2, the
+# drivers' default seed 42). Driver output is fully deterministic, so the
+# baselines are compared byte-for-byte.
+#
+# The goldens pin the exact simulated schedule: any schedule-visible change
+# (invalidation delivery order, interconnect timing, workload seeding)
+# surfaces as a diff in every affected driver. After an intentional change,
+# run this script with no arguments, inspect `git diff tests/golden/`,
+# justify the drift in the PR, and commit the regenerated files. The
+# `golden_rebaseline` ctest label runs the --check mode.
+#
+# Usage:
+#   scripts/rebaseline_golden.sh                    # regenerate all goldens
+#   scripts/rebaseline_golden.sh --check [drv...]   # verify; exit 1 on drift
+#   scripts/rebaseline_golden.sh --check-cold-start fig6_dequeue
+#       # re-run with --cold-start and verify against the same (fork-path)
+#       # golden — the checkpoint/fork byte-identity gate
+#
+# Env: BUILD_DIR (default: build).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+GOLDEN_DIR=tests/golden
+SMOKE_ARGS=(--threads 1,2 --ops 20 --repeats 1 --jobs 2)
+DRIVERS=(
+  fig1_txcas_vs_faa
+  fig2_coherence_dynamics
+  fig3_tripped_writer
+  fig5_enqueue
+  fig6_dequeue
+  fig7_mixed
+  ablation_delay_sweep
+  ablation_numa
+  ablation_basket_size
+  ablation_uarch_fix
+  ablation_striped_basket
+)
+
+mode=write
+extra_args=()
+case "${1:-}" in
+  --check)
+    mode=check
+    shift
+    ;;
+  --check-cold-start)
+    mode=check
+    extra_args=(--cold-start)
+    shift
+    ;;
+esac
+
+drivers=("$@")
+if [ ${#drivers[@]} -eq 0 ]; then
+  drivers=("${DRIVERS[@]}")
+fi
+
+fail=0
+for drv in "${drivers[@]}"; do
+  exe="$BUILD_DIR/bench/$drv"
+  if [ ! -x "$exe" ]; then
+    echo "rebaseline_golden: $exe not built (cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+  tmp_out=$(mktemp)
+  tmp_json=$(mktemp)
+  "$exe" "${SMOKE_ARGS[@]}" ${extra_args[@]+"${extra_args[@]}"} \
+      --json "$tmp_json" > "$tmp_out"
+  if [ "$mode" = write ]; then
+    mkdir -p "$GOLDEN_DIR"
+    mv "$tmp_out" "$GOLDEN_DIR/$drv.stdout"
+    mv "$tmp_json" "$GOLDEN_DIR/$drv.json"
+    echo "rebaseline_golden: wrote $GOLDEN_DIR/$drv.{stdout,json}"
+  else
+    label="$drv${extra_args[0]:+ ${extra_args[*]}}"
+    if ! diff -u "$GOLDEN_DIR/$drv.stdout" "$tmp_out"; then
+      echo "rebaseline_golden: $label stdout drifted from golden" >&2
+      fail=1
+    fi
+    if ! diff -u "$GOLDEN_DIR/$drv.json" "$tmp_json"; then
+      echo "rebaseline_golden: $label --json drifted from golden" >&2
+      fail=1
+    fi
+    rm -f "$tmp_out" "$tmp_json"
+  fi
+done
+
+if [ "$mode" = check ]; then
+  if [ "$fail" -ne 0 ]; then
+    echo "rebaseline_golden: FAILED — run scripts/rebaseline_golden.sh and" \
+         "commit tests/golden/ if the drift is intentional" >&2
+    exit 1
+  fi
+  echo "rebaseline_golden: ${#drivers[@]} driver(s) match the goldens"
+fi

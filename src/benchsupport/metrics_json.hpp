@@ -54,6 +54,8 @@ inline Json metrics_to_json(const sim::MetricsSnapshot& m) {
   out.set("htm", std::move(htm));
   out.set("basket", std::move(basket));
   out.set("messages", Json(m.messages));
+  out.set("link_messages", Json(m.link_messages));
+  out.set("link_wait_cycles", Json(m.link_wait_cycles));
   out.set("events", Json(m.events));
   out.set("final_time", Json(static_cast<std::uint64_t>(m.final_time)));
   return out;

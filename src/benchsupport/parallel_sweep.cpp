@@ -79,4 +79,21 @@ void run_sweep_cells(std::size_t rows, std::size_t cells_per_row, int jobs,
   if (error) std::rethrow_exception(error);
 }
 
+void run_sweep_groups(
+    std::size_t rows, std::size_t groups_per_row, std::size_t cells_per_group,
+    int jobs, const std::function<void(std::size_t)>& warm_group,
+    const std::function<void(std::size_t, std::size_t)>& cell,
+    const std::function<void(std::size_t)>& on_row_done) {
+  // A group is one sweep work item: warm once, then its cells in order on
+  // the same worker. Row bookkeeping and error handling are inherited from
+  // the cell runner with cells_per_row = groups_per_row.
+  run_sweep_cells(
+      rows, groups_per_row, jobs,
+      [&](std::size_t g) {
+        warm_group(g);
+        for (std::size_t c = 0; c < cells_per_group; ++c) cell(g, c);
+      },
+      on_row_done);
+}
+
 }  // namespace sbq

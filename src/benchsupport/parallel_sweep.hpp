@@ -44,4 +44,20 @@ inline void run_sweep_cells(std::size_t rows, std::size_t cells_per_row,
   run_sweep_cells(rows, cells_per_row, jobs, cell, nullptr);
 }
 
+// Group-level scheduling: one work item per (row, group) instead of per
+// cell. The worker that claims a group first calls warm_group(g) — e.g. to
+// prefill a machine and take a Machine::snapshot — then runs that group's
+// `cells_per_group` cells back-to-back on the same thread, so per-group
+// warm-up work happens once per group instead of once per cell (the sweep
+// checkpoint/fork optimization). Group g belongs to row g / groups_per_row;
+// warm state is communicated through caller-owned slots indexed by g (each
+// group's slot is touched by exactly one worker).
+//
+// on_row_done and the exception semantics match run_sweep_cells.
+void run_sweep_groups(
+    std::size_t rows, std::size_t groups_per_row, std::size_t cells_per_group,
+    int jobs, const std::function<void(std::size_t)>& warm_group,
+    const std::function<void(std::size_t, std::size_t)>& cell,
+    const std::function<void(std::size_t)>& on_row_done);
+
 }  // namespace sbq

@@ -87,6 +87,51 @@ Task<void> consumer_thread(Machine& m, QueueT& q, int core, int id, Value ops,
 
 }  // namespace detail
 
+// ---------------------------------------------------------------------------
+// Prefill phases (un-measured).
+//
+// The prefill phase is split from the measured phase so that sweep cells
+// sharing a (row, queue) coordinate can run it ONCE, take a
+// Machine::snapshot of the warmed machine, and fork each repeat from the
+// snapshot instead of re-warming (see bench/sim_queue_bench_util.hpp's
+// WarmedWorkload). For that to be sound the prefill must be seeded
+// independently of the per-repeat measurement seed — callers pass a
+// `prefill_seed` that is constant across repeats.
+// ---------------------------------------------------------------------------
+
+// Concurrent pre-fill by `producers` threads, `per_producer` elements each
+// (§6.1's "pre-fill using concurrent producers"). Runs to quiescence.
+template <typename QueueT>
+void run_prefill(Machine& m, QueueT& q, int producers, Value per_producer,
+                 std::uint64_t prefill_seed) {
+  auto fill_acc = std::make_shared<detail::Accum>();
+  for (int p = 0; p < producers; ++p) {
+    m.spawn(detail::producer_thread(
+        m, q, p, p, per_producer,
+        prefill_seed * 7 + static_cast<std::uint64_t>(p), fill_acc));
+  }
+  m.run();  // un-measured fill phase
+}
+
+// Elements each prefill producer contributes for a consumer-only run: the
+// consumers' total demand split evenly (rounded up).
+inline Value consumer_only_per_producer(int prefill_producers, int consumers,
+                                        Value ops_per_thread) {
+  const Value total = static_cast<Value>(consumers) * ops_per_thread;
+  return (total + static_cast<Value>(prefill_producers) - 1) /
+         static_cast<Value>(prefill_producers);
+}
+
+inline Value mixed_per_producer(int producers, Value prefill) {
+  return (prefill + static_cast<Value>(producers) - 1) /
+         static_cast<Value>(producers);
+}
+
+// ---------------------------------------------------------------------------
+// Measured phases. Each assumes any prefill already ran to quiescence (on
+// this machine, or on the machine its fork snapshot was taken from).
+// ---------------------------------------------------------------------------
+
 // Producer-only: `producers` threads each enqueue `ops_per_thread` elements
 // into an initially empty queue (Figure 5's workload).
 template <typename QueueT>
@@ -108,29 +153,15 @@ SimRunResult run_producer_only(Machine& m, QueueT& q, int producers,
   return r;
 }
 
-// Consumer-only: the queue is pre-filled concurrently by `prefill_producers`
-// (un-measured, matching §6.1's "pre-fill using concurrent producers"), then
-// `consumers` threads each dequeue `ops_per_thread` elements.
+// Consumer-only measured phase: `consumers` threads each dequeue
+// `ops_per_thread` elements from the (pre-filled) queue.
 // `consumer_id_offset` separates consumer ids from producer ids for queues
 // with a single thread-id space (CC-Queue's per-thread records); SBQ keeps
 // separate id ranges and passes 0.
 template <typename QueueT>
-SimRunResult run_consumer_only(Machine& m, QueueT& q, int prefill_producers,
-                               int consumers, Value ops_per_thread,
-                               std::uint64_t seed = 1,
-                               int consumer_id_offset = 0) {
-  const Value total = static_cast<Value>(consumers) * ops_per_thread;
-  const Value per_producer =
-      (total + static_cast<Value>(prefill_producers) - 1) /
-      static_cast<Value>(prefill_producers);
-  auto fill_acc = std::make_shared<detail::Accum>();
-  for (int p = 0; p < prefill_producers; ++p) {
-    m.spawn(detail::producer_thread(m, q, p, p, per_producer,
-                                    seed * 7 + static_cast<std::uint64_t>(p),
-                                    fill_acc));
-  }
-  m.run();  // un-measured fill phase
-
+SimRunResult measure_consumer_only(Machine& m, QueueT& q, int consumers,
+                                   Value ops_per_thread, std::uint64_t seed,
+                                   int consumer_id_offset) {
   auto acc = std::make_shared<detail::Accum>();
   const Time start = m.engine().now();
   for (int ci = 0; ci < consumers; ++ci) {
@@ -148,25 +179,12 @@ SimRunResult run_consumer_only(Machine& m, QueueT& q, int prefill_producers,
   return r;
 }
 
-// Mixed: producers on cores [0, P) (socket 0 in a 2-socket machine),
-// consumers on cores [cores/2, cores/2 + C) (socket 1). The queue is
-// pre-filled so consumers rarely see it empty (Figure 7's setup).
+// Mixed measured phase: producers on cores [0, P) (socket 0 in a 2-socket
+// machine), consumers on cores [cores/2, cores/2 + C) (socket 1).
 template <typename QueueT>
-SimRunResult run_mixed(Machine& m, QueueT& q, int producers, int consumers,
-                       Value ops_per_thread, Value prefill,
-                       std::uint64_t seed = 1, int consumer_id_offset = 0) {
-  // Un-measured pre-fill by the producers' cores.
-  const Value per_producer =
-      (prefill + static_cast<Value>(producers) - 1) /
-      static_cast<Value>(producers);
-  auto fill_acc = std::make_shared<detail::Accum>();
-  for (int p = 0; p < producers; ++p) {
-    m.spawn(detail::producer_thread(m, q, p, p, per_producer,
-                                    seed * 7 + static_cast<std::uint64_t>(p),
-                                    fill_acc));
-  }
-  m.run();
-
+SimRunResult measure_mixed(Machine& m, QueueT& q, int producers, int consumers,
+                           Value ops_per_thread, std::uint64_t seed,
+                           int consumer_id_offset) {
   auto acc = std::make_shared<detail::Accum>();
   const int consumer_core0 = m.core_count() / 2;
   const Time start = m.engine().now();
@@ -190,6 +208,33 @@ SimRunResult run_mixed(Machine& m, QueueT& q, int producers, int consumers,
   r.duration_cycles = static_cast<double>(m.engine().now() - start);
   r.metrics = m.metrics();
   return r;
+}
+
+// ---------------------------------------------------------------------------
+// Whole-workload wrappers (prefill + measure on one machine, same seed for
+// both phases) — kept for tests and callers outside the sweep path.
+// ---------------------------------------------------------------------------
+
+template <typename QueueT>
+SimRunResult run_consumer_only(Machine& m, QueueT& q, int prefill_producers,
+                               int consumers, Value ops_per_thread,
+                               std::uint64_t seed = 1,
+                               int consumer_id_offset = 0) {
+  run_prefill(m, q, prefill_producers,
+              consumer_only_per_producer(prefill_producers, consumers,
+                                         ops_per_thread),
+              seed);
+  return measure_consumer_only(m, q, consumers, ops_per_thread, seed,
+                               consumer_id_offset);
+}
+
+template <typename QueueT>
+SimRunResult run_mixed(Machine& m, QueueT& q, int producers, int consumers,
+                       Value ops_per_thread, Value prefill,
+                       std::uint64_t seed = 1, int consumer_id_offset = 0) {
+  run_prefill(m, q, producers, mixed_per_producer(producers, prefill), seed);
+  return measure_mixed(m, q, producers, consumers, ops_per_thread, seed,
+                       consumer_id_offset);
 }
 
 }  // namespace sbq::simq

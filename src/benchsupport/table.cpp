@@ -113,6 +113,8 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
       }
     } else if (std::strcmp(a, "--serial") == 0) {
       opts.serial = true;
+    } else if (std::strcmp(a, "--cold-start") == 0) {
+      opts.cold_start = true;
     } else if (std::strcmp(a, "--json") == 0) {
       opts.json_path = next_value();
     } else if (std::strncmp(a, "--json=", 7) == 0) {

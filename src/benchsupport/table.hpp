@@ -46,8 +46,9 @@ class Table {
 
 // Shared CLI parsing for bench binaries: recognizes --csv, --seed N,
 // --threads LIST (comma separated), --ops N, --repeats N, --jobs N,
-// --serial, --json FILE (BenchReport artifact) and --trace FILE (JSONL
-// coherence-event trace); --json/--trace also accept the --opt=FILE form.
+// --serial, --cold-start, --json FILE (BenchReport artifact) and --trace
+// FILE (JSONL coherence-event trace); --json/--trace also accept the
+// --opt=FILE form.
 struct BenchOptions {
   bool csv = false;
   unsigned long long seed = 42;
@@ -56,6 +57,11 @@ struct BenchOptions {
   int repeats = 0;                // 0 => binary default
   int jobs = 0;                   // 0 => default_sweep_jobs()
   bool serial = false;            // force single-threaded cell execution
+  // Warm every sweep cell from scratch instead of forking repeats from a
+  // shared warmed snapshot. Output must be byte-identical either way (the
+  // golden tests run fig6 both ways against one baseline); this flag exists
+  // to keep that equivalence checkable and to time the warm-up savings.
+  bool cold_start = false;
   std::string json_path;          // empty => no JSON artifact
   std::string trace_path;         // empty => no event trace
   static BenchOptions parse(int argc, char** argv);

@@ -15,6 +15,18 @@ Core::LineState Core::line_state(Addr a) const {
   return it == lines_.end() ? LineState::kInvalid : it->second.state;
 }
 
+Core::State Core::save_state() const {
+  assert(quiescent() && "cannot snapshot a core with in-flight state");
+  return State{lines_, stats_, delay_jitter_state_};
+}
+
+void Core::restore_state(const State& s) {
+  assert(quiescent() && "cannot restore onto a core with in-flight state");
+  lines_ = s.lines;
+  stats_ = s.stats;
+  delay_jitter_state_ = s.delay_jitter_state;
+}
+
 // ---------------------------------------------------------------------------
 // Generic acquire: ensure the line is present with the needed permission,
 // then run `cont` (synchronously within the completing event).

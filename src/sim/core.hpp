@@ -158,6 +158,29 @@ class Core {
     Value value = 0;
   };
 
+ public:
+  // True when the core holds no in-flight protocol or transaction state:
+  // no pending request, no parked waiters, no active TxCAS. Only a
+  // quiescent core can be snapshotted — everything else (cache lines,
+  // stats, the delay-jitter PRNG) is plain value state.
+  bool quiescent() const noexcept {
+    return pending_.empty() && waiters_.empty() && !txn_.active &&
+           txn_op_ == nullptr;
+  }
+
+  // Schedule-visible state for Machine::snapshot()/fork(); valid only at
+  // quiescent(). The jitter PRNG is included because think()-delay jitter
+  // draws from it in program order.
+  struct State {
+    FlatMap<Line> lines;
+    CoreStats stats;
+    std::uint64_t delay_jitter_state = 0;
+  };
+  State save_state() const;
+  void restore_state(const State& s);
+
+ private:
+
   // One outstanding coherence request (GetS or GetM) of this core.
   struct Pending {
     bool want_m = false;

@@ -37,6 +37,30 @@ std::size_t Directory::sharer_count(Addr addr) const {
   return it == lines_.end() ? 0 : it->second.sharers.size();
 }
 
+Directory::State Directory::save_state() const {
+  return State{lines_, legacy_order_, busy_until_, stats_};
+}
+
+void Directory::restore_state(const State& s) {
+  lines_ = s.lines;
+  legacy_order_ = s.legacy_order;
+  busy_until_ = s.busy_until;
+  stats_ = s.stats;
+}
+
+void Directory::add_sharer(Line& line, Addr addr, CoreId id) {
+  line.sharers.insert(id);
+  if (!cfg_.canonical_inv_order) legacy_order_[addr].insert(id);
+}
+
+void Directory::drop_sharer(Line& line, Addr addr, CoreId id) {
+  line.sharers.erase(id);
+  if (!cfg_.canonical_inv_order) {
+    auto it = legacy_order_.find(addr);
+    if (it != legacy_order_.end()) it->second.erase(id);
+  }
+}
+
 void Directory::handle(const Message& msg) {
   // Model a per-request occupancy: simultaneous arrivals serialize a bit.
   const Time start = std::max(engine_.now(), busy_until_);
@@ -68,7 +92,7 @@ void Directory::process(const Message& msg) {
       if (line.state == LineState::kOwned && line.owner == msg.src) {
         ++stats_.wb_accepted;
         line.value = msg.value;
-        line.sharers.insert(line.owner);
+        add_sharer(line, msg.addr, line.owner);
         line.owner = -1;
         line.state = LineState::kShared;
       } else {
@@ -86,7 +110,7 @@ void Directory::process_gets(Line& line, const Message& msg) {
     case LineState::kInvalid:
     case LineState::kShared: {
       line.state = LineState::kShared;
-      line.sharers.insert(req);
+      add_sharer(line, msg.addr, req);
       Message data{MsgType::kData, msg.addr, self_, req, line.value, 0};
       net_.send(self_, req, data);
       return;
@@ -99,7 +123,7 @@ void Directory::process_gets(Line& line, const Message& msg) {
       ++stats_.fwd_gets;
       Message fwd{MsgType::kFwdGetS, msg.addr, self_, req, 0, 0};
       net_.send(self_, line.owner, fwd);
-      line.sharers.insert(req);
+      add_sharer(line, msg.addr, req);
       line.state = LineState::kOwned;
       return;
     }
@@ -108,12 +132,23 @@ void Directory::process_gets(Line& line, const Message& msg) {
 
 int Directory::invalidate_sharers(Line& line, Addr addr, CoreId req) {
   int acks = 0;
-  for (CoreId sharer : line.sharers) {
-    if (sharer == req) continue;
+  const auto send_inv = [&](CoreId sharer) {
+    if (sharer == req) return;
     ++acks;
     ++stats_.invalidations;
     Message inv{MsgType::kInv, addr, self_, req, 0, 0};
     net_.send(self_, sharer, inv);
+  };
+  if (cfg_.canonical_inv_order) {
+    // Canonical schedule: ascending core-id walk of the bitmask.
+    for (CoreId sharer : line.sharers) send_inv(sharer);
+  } else {
+    // Legacy schedule: replay the pre-canonical bucket-chain order.
+    auto it = legacy_order_.find(addr);
+    if (it != legacy_order_.end()) {
+      for (CoreId sharer : it->second) send_inv(sharer);
+      it->second.clear();
+    }
   }
   line.sharers.clear();
   return acks;
@@ -153,7 +188,7 @@ void Directory::process_getm(Line& line, const Message& msg) {
         // Data comes from the previous owner (Fwd-GetM carries the ack
         // count so the owner's response can convey it); the remaining
         // sharers are invalidated back-to-back.
-        line.sharers.erase(owner);  // owner is not in sharers, but be safe
+        drop_sharer(line, msg.addr, owner);  // owner is not in sharers, but be safe
         const int acks = invalidate_sharers(line, msg.addr, req);
         ++stats_.fwd_getm;
         Message fwd{MsgType::kFwdGetM, msg.addr, self_, req, 0, acks};

@@ -32,6 +32,7 @@
 #include "sim/engine.hpp"
 #include "sim/flat_map.hpp"
 #include "sim/interconnect.hpp"
+#include "sim/legacy_inv_order.hpp"
 #include "sim/message.hpp"
 #include "sim/sharer_set.hpp"
 #include "sim/types.hpp"
@@ -83,11 +84,32 @@ class Directory {
     Value value = 0;    // authoritative in I/S only
   };
 
+ public:
+  // Schedule-visible state for Machine::snapshot()/fork(): the line table
+  // (states, owners, sharer bitmasks, LLC values), the occupancy horizon,
+  // the protocol counters, and — in legacy inv-order mode — the per-line
+  // order chains.
+  struct State {
+    FlatMap<Line> lines;
+    FlatMap<LegacyInvOrder> legacy_order;
+    Time busy_until = 0;
+    Stats stats;
+  };
+  State save_state() const;
+  void restore_state(const State& s);
+
+ private:
   void process(const Message& msg);
   void process_gets(Line& line, const Message& msg);
   void process_getm(Line& line, const Message& msg);
   // Invalidate all sharers except `req`; returns the ack count.
   int invalidate_sharers(Line& line, Addr addr, CoreId req);
+
+  // Sharer mutations funnel through these so legacy mode can mirror the
+  // bitmask into its side-table order chain (canonical mode, the default,
+  // touches only the bitmask).
+  void add_sharer(Line& line, Addr addr, CoreId id);
+  void drop_sharer(Line& line, Addr addr, CoreId id);
 
   Engine& engine_;
   Interconnect& net_;
@@ -96,6 +118,9 @@ class Directory {
   CoreId self_;
   Time busy_until_ = 0;
   FlatMap<Line> lines_;
+  // Legacy inv-order side table (addr -> bucket-chain order replica);
+  // empty and untouched when cfg_.canonical_inv_order (the default).
+  FlatMap<LegacyInvOrder> legacy_order_;
   Stats stats_;
 };
 

@@ -123,6 +123,22 @@ void Engine::step_at(std::size_t idx) {
   release_node(n);
 }
 
+Engine::Checkpoint Engine::save_checkpoint() const {
+  assert(idle() && "checkpoint requires a drained event queue");
+  return Checkpoint{now_, next_seq_, processed_, alloc_};
+}
+
+void Engine::restore_checkpoint(const Checkpoint& c) {
+  assert(idle() && "restore requires a drained event queue");
+  now_ = c.now;
+  next_seq_ = c.next_seq;
+  processed_ = c.processed;
+  alloc_ = c.alloc;
+  // Wheel and occupancy bitmap are empty at idle; slot lookup is keyed on
+  // absolute time, so restoring now_ fully re-anchors the window.
+  next_idx_ = static_cast<std::size_t>(now_) & kWheelMask;
+}
+
 Time Engine::run() {
   while (!idle()) dispatch_at(next_event_time());
   return now_;

@@ -122,6 +122,23 @@ class Engine {
   };
   const AllocStats& alloc_stats() const noexcept { return alloc_; }
 
+  // Checkpoint of the schedule-visible clock state, valid only at idle()
+  // (no pending events — nothing in the wheel or overflow heap to capture).
+  // Restoring onto an idle engine resumes the (time, seq) stream exactly
+  // where the checkpointed engine left it: slot indexing is absolute-time
+  // based, so now_ alone re-anchors the wheel window. The node slab and
+  // freelist are deliberately NOT part of the checkpoint — warmth is a
+  // wall-clock property, not a schedule-visible one (a forked machine
+  // re-warms its slab on first use; see Machine::fork).
+  struct Checkpoint {
+    Time now = 0;
+    std::uint64_t next_seq = 0;
+    std::uint64_t processed = 0;
+    AllocStats alloc;
+  };
+  Checkpoint save_checkpoint() const;   // pre: idle()
+  void restore_checkpoint(const Checkpoint& c);  // pre: idle()
+
  private:
   // Inline payload: the largest callable the simulator schedules today is
   // ~80 bytes (core-op completions capturing an inline continuation);

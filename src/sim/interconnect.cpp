@@ -1,5 +1,6 @@
 #include "sim/interconnect.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "sim/trace.hpp"
@@ -21,7 +22,12 @@ const char* msg_type_name(MsgType t) noexcept {
 }
 
 Interconnect::Interconnect(Engine& engine, const MachineConfig& cfg, Trace* trace)
-    : engine_(engine), cfg_(cfg), trace_(trace), handlers_(cfg.cores + 1) {}
+    : engine_(engine), cfg_(cfg), trace_(trace), handlers_(cfg.cores + 1) {
+  if (cfg_.interconnect_model == InterconnectModel::kLink) {
+    links_.resize(static_cast<std::size_t>(cfg_.sockets) *
+                  static_cast<std::size_t>(cfg_.sockets));
+  }
+}
 
 void Interconnect::set_handler(CoreId node, MessageHandlerFn handler) {
   assert(node >= 0 && node <= cfg_.cores);
@@ -35,8 +41,10 @@ int Interconnect::socket_of(CoreId node) const noexcept {
 }
 
 Time Interconnect::latency(CoreId src, CoreId dst) const noexcept {
-  return socket_of(src) == socket_of(dst) ? cfg_.intra_latency
-                                          : cfg_.inter_latency;
+  if (socket_of(src) == socket_of(dst)) return cfg_.intra_latency;
+  return cfg_.interconnect_model == InterconnectModel::kLink
+             ? cfg_.inter_latency + cfg_.link_occupancy
+             : cfg_.inter_latency;
 }
 
 void Interconnect::send(CoreId src, CoreId dst, Message msg) {
@@ -50,7 +58,46 @@ void Interconnect::send(CoreId src, CoreId dst, Message msg) {
   }
   auto& handler = handlers_[static_cast<std::size_t>(dst)];
   assert(handler);
-  engine_.schedule(latency(src, dst), [&handler, msg] { handler(msg); });
+  Time delay;
+  const int ss = socket_of(src);
+  const int ds = socket_of(dst);
+  if (cfg_.interconnect_model == InterconnectModel::kLink && ss != ds) {
+    // Occupancy queue: depart when the link frees up, hold it for
+    // link_occupancy cycles, then traverse the hop. busy_until advancing
+    // monotonically per link is exactly a FIFO queue of earlier senders.
+    Link& l = link(ss, ds);
+    const Time now = engine_.now();
+    const Time depart = std::max(now, l.busy_until);
+    l.busy_until = depart + cfg_.link_occupancy;
+    const Time wait = depart - now;
+    delay = wait + cfg_.link_occupancy + cfg_.inter_latency;
+    ++link_msgs_;
+    link_wait_cycles_ += wait;
+  } else {
+    delay = latency(src, dst);
+  }
+  engine_.schedule(delay, [&handler, msg] { handler(msg); });
+}
+
+Interconnect::State Interconnect::save_state() const {
+  State s;
+  s.sent = sent_;
+  s.link_msgs = link_msgs_;
+  s.link_wait_cycles = link_wait_cycles_;
+  s.link_busy_until.reserve(links_.size());
+  for (const Link& l : links_) s.link_busy_until.push_back(l.busy_until);
+  return s;
+}
+
+void Interconnect::restore_state(const State& s) {
+  assert(s.link_busy_until.size() == links_.size() &&
+         "snapshot taken under a different interconnect topology");
+  sent_ = s.sent;
+  link_msgs_ = s.link_msgs;
+  link_wait_cycles_ = s.link_wait_cycles;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    links_[i].busy_until = s.link_busy_until[i];
+  }
 }
 
 }  // namespace sbq::sim

@@ -1,11 +1,27 @@
-// Point-to-point interconnect with a NUMA latency matrix.
+// Point-to-point interconnect with pluggable topology.
 //
 // Models the paper's assumptions (§3.1): point-to-point communication,
 // multiple in-flight messages (not a broadcast bus), with per-hop latency
 // that is small on-chip and several times larger across sockets (§4.3).
-// Bandwidth is unlimited; ordering between a given (src, dst) pair is
-// preserved (messages sent earlier arrive no later), which the protocol's
-// stall-and-queue logic relies on for determinism.
+// Ordering between a given (src, dst) pair is preserved (messages sent
+// earlier arrive no later), which the protocol's stall-and-queue logic
+// relies on for determinism.
+//
+// Two topology models, selected via MachineConfig::interconnect_model:
+//
+//   kFlat — the original latency matrix: every hop costs intra_latency or
+//           inter_latency and bandwidth is unlimited.
+//   kLink — each directed socket pair owns a link with finite bandwidth.
+//           A link serializes messages: it is held for link_occupancy
+//           cycles per message, and a message that finds the link busy
+//           waits in a FIFO occupancy queue behind earlier traffic. The
+//           queue is represented by the link's busy_until horizon — a
+//           message departs at max(now, busy_until), advances busy_until
+//           by link_occupancy, and arrives occupancy + inter_latency
+//           cycles after departing. FIFO per link plus deterministic
+//           (time, seq) event ordering keeps per-pair ordering intact.
+//           Intra-socket messages still use the flat intra_latency: the
+//           on-chip mesh is not the bottleneck §3.1 models.
 #pragma once
 
 #include <vector>
@@ -35,17 +51,51 @@ class Interconnect {
   void send(CoreId src, CoreId dst, Message msg);
 
   int socket_of(CoreId node) const noexcept;
+  // Uncontended hop cost (the full kLink delay additionally depends on the
+  // link's occupancy queue at send time).
   Time latency(CoreId src, CoreId dst) const noexcept;
   CoreId directory_id() const noexcept { return cfg_.cores; }
 
   std::uint64_t messages_sent() const noexcept { return sent_; }
+  // kLink counters: messages that crossed a socket link, and the total
+  // cycles those messages spent queued behind earlier link traffic (zero
+  // under kFlat).
+  std::uint64_t link_messages() const noexcept { return link_msgs_; }
+  std::uint64_t link_wait_cycles() const noexcept { return link_wait_cycles_; }
+
+  // Schedule-visible state for Machine::snapshot()/fork(). Restore is only
+  // valid against an Interconnect built from the same MachineConfig (link
+  // array shape must match).
+  struct State {
+    std::uint64_t sent = 0;
+    std::uint64_t link_msgs = 0;
+    std::uint64_t link_wait_cycles = 0;
+    std::vector<Time> link_busy_until;  // row-major [src_socket][dst_socket]
+  };
+  State save_state() const;
+  void restore_state(const State& s);
 
  private:
+  // One directed link per socket pair, row-major [src_socket][dst_socket].
+  // Diagonal entries exist but are never used (intra-socket is flat).
+  struct Link {
+    Time busy_until = 0;  // cycle at which the link frees up
+  };
+
+  Link& link(int src_socket, int dst_socket) noexcept {
+    return links_[static_cast<std::size_t>(src_socket) *
+                      static_cast<std::size_t>(cfg_.sockets) +
+                  static_cast<std::size_t>(dst_socket)];
+  }
+
   Engine& engine_;
   MachineConfig cfg_;
   Trace* trace_;
   std::vector<MessageHandlerFn> handlers_;
+  std::vector<Link> links_;  // empty under kFlat
   std::uint64_t sent_ = 0;
+  std::uint64_t link_msgs_ = 0;
+  std::uint64_t link_wait_cycles_ = 0;
 };
 
 }  // namespace sbq::sim

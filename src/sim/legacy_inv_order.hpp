@@ -1,0 +1,200 @@
+// LegacyInvOrder — the pre-canonical Inv delivery order, kept as an
+// escape hatch.
+//
+// Before MachineConfig::canonical_inv_order (default on) the directory
+// walked each line's sharers in the iteration order of the seed container,
+// a libstdc++ std::unordered_set<int>. That order is schedule-visible:
+// replaying with ascending-id iteration changes the printed tables of 9 of
+// the 11 figure drivers. The canonical schedule is now the baseline, but
+// diffing against PR-3 artifacts still needs the old schedule to be
+// reproducible, so the bucket-chain replica that used to live inside every
+// Line's SharerSet survives here as a standalone order tracker the
+// Directory keeps in a *side table* — only populated when
+// canonical_inv_order is false, so per-line state in the default
+// configuration is the bare bitmask (see sharer_set.hpp).
+//
+// The replica transcribes libstdc++'s _Hashtable algorithms: per-id `next`
+// links, a before-begin head, a bucket -> "node before the bucket's first
+// element" table, and the library's own
+// std::__detail::_Prime_rehash_policy instance so bucket growth happens at
+// exactly the same insertions (sharer_set_test fuzzes this against the
+// real container). Legacy mode is exempt from the zero-alloc gates — the
+// perf_smoke microbenches run the canonical schedule — but the SmallBuf
+// inline sizing is kept so small machines still avoid per-line heap spill.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>  // for std::__detail::_Prime_rehash_policy
+
+#include "sim/sharer_set.hpp"  // detail::SmallBuf
+#include "sim/types.hpp"
+
+namespace sbq::sim {
+
+class LegacyInvOrder {
+ public:
+  // Inline-storage sizing: the chain links cover core ids < kInlineIds, and
+  // the bucket array stays inline through _Prime_rehash_policy's first two
+  // growth steps (13 then 29 buckets, good for up to 29 simultaneous
+  // sharers at max load factor 1.0). So machines of up to 16 cores never
+  // heap-allocate per line.
+  static constexpr std::size_t kInlineIds = 16;
+  static constexpr std::size_t kInlineBuckets = 32;
+
+  LegacyInvOrder() = default;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  bool contains(CoreId id) const noexcept {
+    if (static_cast<std::size_t>(id) >= next_.size()) return false;
+    if (head_ == id) return true;
+    // Membership is encoded in the chain only; walk it. Legacy mode is a
+    // diffing tool, not a hot path.
+    for (std::int32_t cur = head_; cur != kEnd; cur = next_[cur]) {
+      if (cur == id) return true;
+    }
+    return false;
+  }
+
+  void insert(CoreId id) {
+    if (contains(id)) return;
+    if (next_.size() <= static_cast<std::size_t>(id))
+      next_.resize(static_cast<std::size_t>(id) + 1, kEnd);
+    const auto need =
+        policy_._M_need_rehash(bucket_count_, size_, /*n_ins=*/1);
+    if (need.first) rehash(need.second);
+    insert_bucket_begin(bucket_of(id), id);
+    ++size_;
+  }
+
+  std::size_t erase(CoreId id) {
+    if (!contains(id)) return 0;
+    const std::size_t bkt = bucket_of(id);
+    // Find the node before `id` in the global chain, starting from the
+    // bucket's before-node (the bucket is non-empty: it holds `id`).
+    const std::int32_t before = bucket_before_[bkt];
+    std::int32_t prev = before;
+    std::int32_t cur = (before == kBeforeBegin) ? head_ : next_[before];
+    while (cur != id) {
+      prev = cur;
+      cur = next_[cur];
+    }
+    const std::int32_t next = next_[id];
+    if (prev == before) {
+      // Removing the bucket's first element (_M_remove_bucket_begin).
+      const std::size_t next_bkt = (next == kEnd) ? 0 : bucket_of(next);
+      if (next == kEnd || next_bkt != bkt) {
+        if (next != kEnd) bucket_before_[next_bkt] = bucket_before_[bkt];
+        if (bucket_before_[bkt] == kBeforeBegin) head_ = next;
+        bucket_before_[bkt] = kEmptyBucket;
+      }
+    } else if (next != kEnd) {
+      const std::size_t next_bkt = bucket_of(next);
+      if (next_bkt != bkt) bucket_before_[next_bkt] = prev;
+    }
+    if (prev == kBeforeBegin) {
+      head_ = next;
+    } else {
+      next_[prev] = next;
+    }
+    --size_;
+    return 1;
+  }
+
+  void clear() noexcept {
+    // Like unordered_set::clear(): drop the elements, keep the bucket
+    // array and the rehash policy's growth state.
+    head_ = kEnd;
+    size_ = 0;
+    bucket_before_.assign(bucket_before_.size(), kEmptyBucket);
+  }
+
+  class const_iterator {
+   public:
+    using value_type = CoreId;
+    const_iterator(const LegacyInvOrder* s, std::int32_t id)
+        : set_(s), id_(id) {}
+    CoreId operator*() const noexcept { return id_; }
+    const_iterator& operator++() noexcept {
+      id_ = set_->next_[id_];
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const noexcept {
+      return id_ == o.id_;
+    }
+    bool operator!=(const const_iterator& o) const noexcept {
+      return id_ != o.id_;
+    }
+
+   private:
+    const LegacyInvOrder* set_;
+    std::int32_t id_;
+  };
+
+  const_iterator begin() const noexcept { return {this, head_}; }
+  const_iterator end() const noexcept { return {this, kEnd}; }
+
+  // Exposed for the differential test.
+  std::size_t bucket_count() const noexcept { return bucket_count_; }
+
+ private:
+  static constexpr std::int32_t kEnd = -1;          // end of the chain
+  static constexpr std::int32_t kBeforeBegin = -2;  // virtual head node
+  static constexpr std::int32_t kEmptyBucket = -3;
+
+  std::size_t bucket_of(std::int32_t id) const noexcept {
+    // std::hash<int> is the identity; ids are non-negative.
+    return static_cast<std::size_t>(id) % bucket_count_;
+  }
+
+  // _Hashtable::_M_insert_bucket_begin: new elements go to the *front* of
+  // their bucket; an empty bucket hooks its chain at the global front.
+  void insert_bucket_begin(std::size_t bkt, std::int32_t id) {
+    if (bucket_before_[bkt] != kEmptyBucket) {
+      const std::int32_t before = bucket_before_[bkt];
+      if (before == kBeforeBegin) {
+        next_[id] = head_;
+        head_ = id;
+      } else {
+        next_[id] = next_[before];
+        next_[before] = id;
+      }
+    } else {
+      next_[id] = head_;
+      head_ = id;
+      if (next_[id] != kEnd) bucket_before_[bucket_of(next_[id])] = id;
+      bucket_before_[bkt] = kBeforeBegin;
+    }
+  }
+
+  // _Hashtable::_M_rehash_aux (unique keys): walk the chain in iteration
+  // order, re-hooking every node with the insert-at-bucket-begin rule.
+  void rehash(std::size_t new_count) {
+    bucket_before_.assign(new_count, kEmptyBucket);
+    bucket_count_ = new_count;
+    std::int32_t cur = head_;
+    head_ = kEnd;
+    while (cur != kEnd) {
+      const std::int32_t next = next_[cur];
+      insert_bucket_begin(bucket_of(cur), cur);
+      cur = next;
+    }
+  }
+
+  // chain link per id (valid iff member)
+  detail::SmallBuf<std::int32_t, kInlineIds> next_;
+  // Per bucket: id of the chain node *before* the bucket's first element,
+  // kBeforeBegin when that is the virtual head, kEmptyBucket when empty.
+  // Empty until the first rehash (bucket_count_ == 1 holds no elements:
+  // the policy forces a rehash on the first insertion, exactly like a
+  // default-constructed unordered_set).
+  detail::SmallBuf<std::int32_t, kInlineBuckets> bucket_before_;
+  std::int32_t head_ = kEnd;
+  std::size_t size_ = 0;
+  std::size_t bucket_count_ = 1;
+  std::__detail::_Prime_rehash_policy policy_;
+};
+
+}  // namespace sbq::sim

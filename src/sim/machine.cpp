@@ -22,6 +22,42 @@ Machine::Machine(MachineConfig cfg)
   }
 }
 
+Machine::Machine(const MachineSnapshot& snap) : Machine(snap.cfg) {
+  engine_.restore_checkpoint(snap.engine);
+  net_->restore_state(snap.net);
+  directory_->restore_state(snap.directory);
+  assert(snap.cores.size() == cores_.size());
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    cores_[i]->restore_state(snap.cores[i]);
+  }
+  trace_ = snap.trace;
+  if (stats_ && snap.stats) *stats_ = *snap.stats;
+  next_addr_ = snap.next_addr;
+  spawned_ = snap.spawned;
+  finished_ = snap.finished;
+  started_ = snap.started;
+}
+
+MachineSnapshot Machine::snapshot() const {
+  assert(engine_.idle() && "snapshot requires a drained event queue");
+  assert(roots_.empty() && spawned_ == finished_ &&
+         "snapshot requires every spawned task to have finished");
+  MachineSnapshot snap;
+  snap.cfg = cfg_;
+  snap.engine = engine_.save_checkpoint();
+  snap.net = net_->save_state();
+  snap.directory = directory_->save_state();
+  snap.cores.reserve(cores_.size());
+  for (const auto& c : cores_) snap.cores.push_back(c->save_state());
+  snap.trace = trace_;
+  if (stats_) snap.stats.emplace(*stats_);
+  snap.next_addr = next_addr_;
+  snap.spawned = spawned_;
+  snap.finished = finished_;
+  snap.started = started_;
+  return snap;
+}
+
 MetricsSnapshot Machine::metrics() const {
   MetricsSnapshot snap;
   if (stats_) {
@@ -30,6 +66,8 @@ MetricsSnapshot Machine::metrics() const {
     snap.basket = stats_->basket();
   }
   snap.messages = net_->messages_sent();
+  snap.link_messages = net_->link_messages();
+  snap.link_wait_cycles = net_->link_wait_cycles();
   snap.events = engine_.events_processed();
   snap.final_time = engine_.now();
   return snap;

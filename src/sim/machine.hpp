@@ -6,6 +6,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "sim/coro.hpp"
@@ -19,13 +20,49 @@
 
 namespace sbq::sim {
 
+// Checkpoint of a quiescent machine (see Machine::snapshot): every piece of
+// schedule-visible state — clock/seq stream, interconnect link horizons,
+// directory lines, per-core caches, counters, trace ring, allocator cursor.
+// A snapshot is a plain value: copyable, and safe to fork from concurrently
+// (fork only reads it), so one warmed prefill can seed every repeat of a
+// sweep cell across worker threads.
+struct MachineSnapshot {
+  MachineConfig cfg;
+  Engine::Checkpoint engine;
+  Interconnect::State net;
+  Directory::State directory;
+  std::vector<Core::State> cores;
+  Trace trace;
+  std::optional<Stats> stats;
+  Addr next_addr = 1;
+  std::size_t spawned = 0;
+  std::size_t finished = 0;
+  bool started = false;
+};
+
 class Machine {
  public:
   explicit Machine(MachineConfig cfg = {});
+  // Fork: build a machine that continues exactly where `snap` left off —
+  // same clock, same seq stream, same cache/directory/link state — so a
+  // forked run replays byte-identically to the machine the snapshot was
+  // taken from continuing in place.
+  explicit Machine(const MachineSnapshot& snap);
   ~Machine();
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
+
+  // Capture the machine's schedule-visible state. Requires quiescence: the
+  // event queue drained (run() returned) and every core free of in-flight
+  // protocol or transaction state — i.e. call it between run() phases, not
+  // mid-simulation. Simulated memory contents (directory lines + caches)
+  // carry over, so a queue prefilled before snapshot() is prefilled in
+  // every fork.
+  MachineSnapshot snapshot() const;
+  static std::unique_ptr<Machine> fork(const MachineSnapshot& snap) {
+    return std::make_unique<Machine>(snap);
+  }
 
   Engine& engine() noexcept { return engine_; }
   Trace& trace() noexcept { return trace_; }

@@ -1,39 +1,29 @@
-// SharerSet — bitmask sharer tracking with schedule-stable iteration.
+// SharerSet — bare-bitmask sharer tracking with canonical ascending-order
+// iteration.
 //
 // Membership lives in uint64_t words indexed by core id, so contains() is
 // one bit test and size() is a counter: the §3.3 invalidate-all-sharers
-// broadcast no longer hashes per sharer. The subtle part is iteration
-// order. The order in which the directory walks the sharer set decides the
-// delivery order of back-to-back invalidations, which (through per-core
-// abort/retry timing) is *schedule-visible*: replaying the seed with
-// sharers iterated in ascending id order changes the printed tables of
-// 9 of the 11 figure drivers. Since this refactor must keep every driver
-// byte-identical, SharerSet carries — next to the bitmask — a compact
-// replica of the seed container's (libstdc++ std::unordered_set<int>)
-// bucket chain: per-id `next` links, a before-begin head, a bucket ->
-// "node before the bucket's first element" table, and the library's own
-// std::__detail::_Prime_rehash_policy instance so bucket growth happens at
-// exactly the same insertions. insert/erase/rehash transcribe the
-// _Hashtable insert-at-bucket-begin / unlink / rehash algorithms
-// (sharer_set_test fuzzes the replica against the real container).
+// broadcast never hashes per sharer. Iteration — which decides the Inv
+// delivery order the directory produces, and through per-core abort/retry
+// timing is *schedule-visible* — walks the bitmask in ascending core-id
+// order. This canonical order is the default machine schedule
+// (MachineConfig::canonical_inv_order); the pre-canonical libstdc++
+// bucket-chain order survives as an opt-out escape hatch in
+// legacy_inv_order.hpp, kept *outside* the per-line state so a Line carries
+// nothing but this bitmask (see docs/protocol.md "Invalidation order").
 //
-// The chain costs three small per-line arrays that grow to the largest
-// core id seen. Each array carries inline storage (SmallBuf) sized so that
-// machines of up to kInlineIds cores never heap-allocate per line — fresh
-// lines (every new basket node) would otherwise charge a handful of
+// The word array carries inline storage (SmallBuf) sized so machines of up
+// to 64 cores — more than any evaluated configuration — never heap-allocate
+// per line; fresh lines (every new basket node) would otherwise charge
 // allocations against the sim_microbench whole-machine zero-alloc gate.
-// Larger machines spill to the heap transparently. A future PR can drop
-// the chain entirely behind a MachineConfig switch once canonical
-// ascending-order invalidation is an accepted (re-baselined) schedule; see
-// ROADMAP "Open items".
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <type_traits>
-#include <unordered_set>  // for std::__detail::_Prime_rehash_policy
 #include <utility>
 
 #include "sim/types.hpp"
@@ -43,8 +33,9 @@ namespace sbq::sim {
 namespace detail {
 
 // Fixed-fill resizable buffer of a trivial T with N elements inline.
-// Covers exactly what SharerSet needs (resize-with-fill, assign-with-fill,
-// indexing); spills to the heap beyond N and never shrinks.
+// Covers exactly what the sharer structures need (resize-with-fill,
+// assign-with-fill, indexing); spills to the heap beyond N and never
+// shrinks.
 template <typename T, std::size_t N>
 class SmallBuf {
   static_assert(std::is_trivially_copyable_v<T>);
@@ -74,7 +65,7 @@ class SmallBuf {
   const T& operator[](std::size_t i) const noexcept { return data_[i]; }
 
   // Grow to `n` elements, new slots set to `fill` (no-op shrink excluded:
-  // SharerSet only ever grows these buffers).
+  // the sharer structures only ever grow these buffers).
   void resize(std::size_t n, T fill) {
     ensure(n);
     for (std::size_t i = size_; i < n; ++i) data_[i] = fill;
@@ -129,14 +120,8 @@ class SmallBuf {
 
 class SharerSet {
  public:
-  // Inline-storage sizing: the chain links cover core ids < kInlineIds, and
-  // the bucket array stays inline through _Prime_rehash_policy's first two
-  // growth steps (13 then 29 buckets, good for up to 29 simultaneous
-  // sharers at max load factor 1.0). So machines of up to 16 cores never
-  // heap-allocate per line; one bitmask word covers 64 cores — more than
-  // any evaluated configuration.
-  static constexpr std::size_t kInlineIds = 16;
-  static constexpr std::size_t kInlineBuckets = 32;
+  // One word covers 64 cores — more than any evaluated configuration — so
+  // per-line sharer state is a single inline word in the common case.
   static constexpr std::size_t kInlineWords = 1;
 
   SharerSet() = default;
@@ -150,8 +135,7 @@ class SharerSet {
   std::size_t size() const noexcept { return size_; }
   bool empty() const noexcept { return size_ == 0; }
 
-  // One word per 64 cores; popcount over words() gives the sharer count
-  // without touching the order chain.
+  // One word per 64 cores, bit = core id.
   const detail::SmallBuf<std::uint64_t, kInlineWords>& words() const noexcept {
     return words_;
   }
@@ -159,11 +143,8 @@ class SharerSet {
   void insert(CoreId id) {
     assert(id >= 0 && "sharer ids are non-negative core ids");
     if (contains(id)) return;
-    ensure_capacity(id);
-    const auto need =
-        policy_._M_need_rehash(bucket_count_, size_, /*n_ins=*/1);
-    if (need.first) rehash(need.second);
-    insert_bucket_begin(bucket_of(id), id);
+    const auto need_words = (static_cast<std::size_t>(id) >> 6) + 1;
+    if (words_.size() < need_words) words_.resize(need_words, 0);
     words_[static_cast<std::size_t>(id) >> 6] |=
         std::uint64_t{1} << (static_cast<std::size_t>(id) & 63);
     ++size_;
@@ -171,34 +152,6 @@ class SharerSet {
 
   std::size_t erase(CoreId id) {
     if (!contains(id)) return 0;
-    const std::size_t bkt = bucket_of(id);
-    // Find the node before `id` in the global chain, starting from the
-    // bucket's before-node (the bucket is non-empty: it holds `id`).
-    const std::int32_t before = bucket_before_[bkt];
-    std::int32_t prev = before;
-    std::int32_t cur = (before == kBeforeBegin) ? head_ : next_[before];
-    while (cur != id) {
-      prev = cur;
-      cur = next_[cur];
-    }
-    const std::int32_t next = next_[id];
-    if (prev == before) {
-      // Removing the bucket's first element (_M_remove_bucket_begin).
-      const std::size_t next_bkt = (next == kEnd) ? 0 : bucket_of(next);
-      if (next == kEnd || next_bkt != bkt) {
-        if (next != kEnd) bucket_before_[next_bkt] = bucket_before_[bkt];
-        if (bucket_before_[bkt] == kBeforeBegin) head_ = next;
-        bucket_before_[bkt] = kEmptyBucket;
-      }
-    } else if (next != kEnd) {
-      const std::size_t next_bkt = bucket_of(next);
-      if (next_bkt != bkt) bucket_before_[next_bkt] = prev;
-    }
-    if (prev == kBeforeBegin) {
-      head_ = next;
-    } else {
-      next_[prev] = next;
-    }
     words_[static_cast<std::size_t>(id) >> 6] &=
         ~(std::uint64_t{1} << (static_cast<std::size_t>(id) & 63));
     --size_;
@@ -206,106 +159,57 @@ class SharerSet {
   }
 
   void clear() noexcept {
-    // Like unordered_set::clear(): drop the elements, keep the bucket
-    // array and the rehash policy's growth state.
-    head_ = kEnd;
-    size_ = 0;
-    bucket_before_.assign(bucket_before_.size(), kEmptyBucket);
     words_.assign(words_.size(), 0);
+    size_ = 0;
   }
 
+  // Iteration in ascending core-id order (the canonical Inv order): a
+  // word-by-word bit scan, no per-sharer hashing or chain chasing.
   class const_iterator {
    public:
     using value_type = CoreId;
-    const_iterator(const SharerSet* s, std::int32_t id) : set_(s), id_(id) {}
-    CoreId operator*() const noexcept { return id_; }
+    const_iterator(const SharerSet* s, std::size_t word) : set_(s), w_(word) {
+      if (w_ < set_->words_.size()) {
+        bits_ = set_->words_[w_];
+        settle();
+      }
+    }
+    CoreId operator*() const noexcept {
+      return static_cast<CoreId>((w_ << 6) +
+                                 static_cast<std::size_t>(
+                                     std::countr_zero(bits_)));
+    }
     const_iterator& operator++() noexcept {
-      id_ = set_->next_[id_];
+      bits_ &= bits_ - 1;  // clear the lowest set bit
+      settle();
       return *this;
     }
     bool operator==(const const_iterator& o) const noexcept {
-      return id_ == o.id_;
+      return w_ == o.w_ && bits_ == o.bits_;
     }
     bool operator!=(const const_iterator& o) const noexcept {
-      return id_ != o.id_;
+      return !(*this == o);
     }
 
    private:
+    void settle() noexcept {
+      while (bits_ == 0 && ++w_ < set_->words_.size()) {
+        bits_ = set_->words_[w_];
+      }
+      if (bits_ == 0) w_ = set_->words_.size();
+    }
     const SharerSet* set_;
-    std::int32_t id_;
+    std::size_t w_;
+    std::uint64_t bits_ = 0;
   };
 
-  const_iterator begin() const noexcept { return {this, head_}; }
-  const_iterator end() const noexcept { return {this, kEnd}; }
-
-  // Exposed for the differential test.
-  std::size_t bucket_count() const noexcept { return bucket_count_; }
+  const_iterator begin() const noexcept { return {this, 0}; }
+  const_iterator end() const noexcept { return {this, words_.size()}; }
 
  private:
-  static constexpr std::int32_t kEnd = -1;          // end of the chain
-  static constexpr std::int32_t kBeforeBegin = -2;  // virtual head node
-  static constexpr std::int32_t kEmptyBucket = -3;
-
-  std::size_t bucket_of(std::int32_t id) const noexcept {
-    // std::hash<int> is the identity; ids are non-negative.
-    return static_cast<std::size_t>(id) % bucket_count_;
-  }
-
-  void ensure_capacity(CoreId id) {
-    const auto need_words = (static_cast<std::size_t>(id) >> 6) + 1;
-    if (words_.size() < need_words) words_.resize(need_words, 0);
-    if (next_.size() <= static_cast<std::size_t>(id))
-      next_.resize(static_cast<std::size_t>(id) + 1, kEnd);
-  }
-
-  // _Hashtable::_M_insert_bucket_begin: new elements go to the *front* of
-  // their bucket; an empty bucket hooks its chain at the global front.
-  void insert_bucket_begin(std::size_t bkt, std::int32_t id) {
-    if (bucket_before_[bkt] != kEmptyBucket) {
-      const std::int32_t before = bucket_before_[bkt];
-      if (before == kBeforeBegin) {
-        next_[id] = head_;
-        head_ = id;
-      } else {
-        next_[id] = next_[before];
-        next_[before] = id;
-      }
-    } else {
-      next_[id] = head_;
-      head_ = id;
-      if (next_[id] != kEnd) bucket_before_[bucket_of(next_[id])] = id;
-      bucket_before_[bkt] = kBeforeBegin;
-    }
-  }
-
-  // _Hashtable::_M_rehash_aux (unique keys): walk the chain in iteration
-  // order, re-hooking every node with the insert-at-bucket-begin rule.
-  void rehash(std::size_t new_count) {
-    bucket_before_.assign(new_count, kEmptyBucket);
-    bucket_count_ = new_count;
-    std::int32_t cur = head_;
-    head_ = kEnd;
-    while (cur != kEnd) {
-      const std::int32_t next = next_[cur];
-      insert_bucket_begin(bucket_of(cur), cur);
-      cur = next;
-    }
-  }
-
   // membership bitmask, bit = core id
   detail::SmallBuf<std::uint64_t, kInlineWords> words_;
-  // chain link per id (valid iff member)
-  detail::SmallBuf<std::int32_t, kInlineIds> next_;
-  // Per bucket: id of the chain node *before* the bucket's first element,
-  // kBeforeBegin when that is the virtual head, kEmptyBucket when empty.
-  // Empty until the first rehash (bucket_count_ == 1 holds no elements:
-  // the policy forces a rehash on the first insertion, exactly like a
-  // default-constructed unordered_set).
-  detail::SmallBuf<std::int32_t, kInlineBuckets> bucket_before_;
-  std::int32_t head_ = kEnd;
   std::size_t size_ = 0;
-  std::size_t bucket_count_ = 1;
-  std::__detail::_Prime_rehash_policy policy_;
 };
 
 }  // namespace sbq::sim

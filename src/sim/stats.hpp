@@ -108,6 +108,10 @@ struct MetricsSnapshot {
   HtmCounters htm;
   BasketCounters basket;
   std::uint64_t messages = 0;   // interconnect messages delivered
+  // kLink interconnect: cross-socket messages and the cycles they spent
+  // queued behind earlier link traffic (both zero under kFlat).
+  std::uint64_t link_messages = 0;
+  std::uint64_t link_wait_cycles = 0;
   std::uint64_t events = 0;     // engine events processed
   Time final_time = 0;          // simulated cycles at snapshot
 };

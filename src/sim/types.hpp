@@ -19,6 +19,22 @@ using CoreId = int;
 
 inline constexpr Addr kNullAddr = 0;  // sim code treats address 0 as NULL
 
+// Interconnect topology model (selected via MachineConfig).
+//
+//   kFlat — the original latency matrix: every hop costs intra_latency or
+//           inter_latency, bandwidth is unlimited. Cheap and sufficient for
+//           single-socket sweeps (there is no cross-socket traffic to
+//           contend for).
+//   kLink — per-socket-pair link objects with finite bandwidth: each
+//           directed cross-socket link serializes messages (one every
+//           link_occupancy cycles) through a FIFO occupancy queue, so a
+//           message's delay is inter_latency plus however long the link's
+//           queue makes it wait. Intra-socket messages still use the flat
+//           intra_latency (the on-chip mesh is not the bottleneck §3.1
+//           models). This is what lets ablation_numa capture *contention*
+//           on the socket link rather than just the added hop cost.
+enum class InterconnectModel : std::uint8_t { kFlat, kLink };
+
 // Machine-wide timing and topology parameters. Defaults approximate the
 // paper's Broadwell (§3.2 cites 15–30 cycles per message delay; QPI hops
 // are several times that).
@@ -27,6 +43,19 @@ struct MachineConfig {
   int sockets = 1;          // cores are split evenly across sockets
   Time intra_latency = 40;  // message delay within a socket [cycles]
   Time inter_latency = 160; // message delay across sockets [cycles]
+  InterconnectModel interconnect_model = InterconnectModel::kFlat;
+  // kLink only: cycles a directed cross-socket link is held per message
+  // (the inverse of its bandwidth). A QPI-class link moves a 64-byte
+  // flit train in a handful of cycles; 16 makes two back-to-back remote
+  // messages visibly queue without dominating the 160-cycle hop.
+  Time link_occupancy = 16;
+  // Order in which the directory delivers back-to-back Invs to a line's
+  // sharers (§3.3). True (default) walks the sharer bitmask in ascending
+  // core-id order — the canonical, re-baselined schedule. False replays the
+  // pre-canonical libstdc++ bucket-chain order (legacy_inv_order.hpp) for
+  // diffing against PR-3 artifacts; legacy mode keeps a per-line side table
+  // and is exempt from the zero-alloc gates.
+  bool canonical_inv_order = true;
   Time dir_occupancy = 3;   // directory per-request processing time
   Time hit_latency = 1;     // cache hit
   Time rmw_latency = 8;     // read-modify-write execute cost once owned

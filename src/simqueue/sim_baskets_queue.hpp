@@ -26,12 +26,15 @@ class SimBasketsQueue {
     int dequeuers = 1;
   };
 
-  SimBasketsQueue(Machine& m, Config cfg) : machine_(m), cfg_(cfg) {
+  SimBasketsQueue(Machine& m, Config cfg) : machine_(&m), cfg_(cfg) {
     queue_ = m.alloc(2);
     const Addr sentinel = m.alloc(2);
     m.directory().poke(head_addr(), sentinel);
     m.directory().poke(tail_addr(), sentinel);
   }
+
+  // Re-point at a forked machine (see SimSbq::rebind).
+  void rebind(Machine& m) { machine_ = &m; }
 
   Addr head_addr() const { return queue_; }
   Addr tail_addr() const { return queue_ + 1; }
@@ -44,7 +47,7 @@ class SimBasketsQueue {
 
   Task<void> enqueue(Core& c, Value element, int /*id*/) {
     assert(element >= kFirstElement && element < kDeletedBit);
-    const Addr node = machine_.alloc(2);
+    const Addr node = machine_->alloc(2);
     co_await c.store(node_value(node), element);
     for (;;) {
       const Addr tail = co_await c.load(tail_addr());
@@ -130,7 +133,7 @@ class SimBasketsQueue {
  private:
   static constexpr std::uint64_t kHopFrequency = 8;
 
-  Machine& machine_;
+  Machine* machine_;
   Config cfg_;
   Addr queue_ = 0;
   std::vector<std::uint64_t> deq_ops_ = std::vector<std::uint64_t>(64, 0);

@@ -26,7 +26,7 @@ class SimCcQueue {
     int threads = 2;  // total operating threads (single id space)
   };
 
-  SimCcQueue(Machine& m, Config cfg) : machine_(m), cfg_(cfg) {
+  SimCcQueue(Machine& m, Config cfg) : machine_(&m), cfg_(cfg) {
     queue_ = m.alloc(3);
     const Addr dummy = alloc_record();
     m.directory().poke(rec_status(dummy), 2);  // dummy holds the lock
@@ -36,6 +36,9 @@ class SimCcQueue {
     m.directory().poke(seq_tail(), sentinel);
     spare_.assign(static_cast<std::size_t>(cfg.threads), 0);
   }
+
+  // Re-point at a forked machine (see SimSbq::rebind).
+  void rebind(Machine& m) { machine_ = &m; }
 
   Addr combining_tail() const { return queue_; }
   Addr seq_head() const { return queue_ + 1; }
@@ -65,7 +68,7 @@ class SimCcQueue {
  private:
   static constexpr std::size_t kHelpBound = 64;
 
-  Addr alloc_record() { return machine_.alloc(5); }
+  Addr alloc_record() { return machine_->alloc(5); }
 
   Addr take_spare(int id) {
     Addr& slot = spare_[static_cast<std::size_t>(id)];
@@ -126,7 +129,7 @@ class SimCcQueue {
   Task<void> execute(Core& c, Addr record) {
     const Value op = co_await c.load(rec_op(record));
     if (op == 1) {
-      const Addr n = machine_.alloc(2);
+      const Addr n = machine_->alloc(2);
       co_await c.store(n, co_await c.load(rec_arg(record)));
       const Addr tail = co_await c.load(seq_tail());
       co_await c.store(tail + 1, n);
@@ -143,7 +146,7 @@ class SimCcQueue {
     }
   }
 
-  Machine& machine_;
+  Machine* machine_;
   Config cfg_;
   Addr queue_ = 0;
   std::vector<Addr> spare_;

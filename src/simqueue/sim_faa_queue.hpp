@@ -29,9 +29,12 @@ class SimFaaQueue {
     int dequeuers = 1;
   };
 
-  SimFaaQueue(Machine& m, Config cfg) : machine_(m), cfg_(cfg) {
+  SimFaaQueue(Machine& m, Config cfg) : machine_(&m), cfg_(cfg) {
     counters_ = m.alloc(2);
   }
+
+  // Re-point at a forked machine (see SimSbq::rebind).
+  void rebind(Machine& m) { machine_ = &m; }
 
   Addr enq_counter() const { return counters_; }
   Addr deq_counter() const { return counters_ + 1; }
@@ -88,11 +91,11 @@ class SimFaaQueue {
 
   Addr cell_addr(Value ticket) {
     const std::size_t chunk = static_cast<std::size_t>(ticket / kChunk);
-    while (chunks_.size() <= chunk) chunks_.push_back(machine_.alloc(kChunk));
+    while (chunks_.size() <= chunk) chunks_.push_back(machine_->alloc(kChunk));
     return chunks_[chunk] + (ticket % kChunk);
   }
 
-  Machine& machine_;
+  Machine* machine_;
   Config cfg_;
   Addr counters_ = 0;
   std::vector<Addr> chunks_;

@@ -19,12 +19,15 @@ class SimMsQueue {
     int dequeuers = 1;
   };
 
-  SimMsQueue(Machine& m, Config cfg) : machine_(m), cfg_(cfg) {
+  SimMsQueue(Machine& m, Config cfg) : machine_(&m), cfg_(cfg) {
     queue_ = m.alloc(2);
     const Addr sentinel = m.alloc(2);
     m.directory().poke(head_addr(), sentinel);
     m.directory().poke(tail_addr(), sentinel);
   }
+
+  // Re-point at a forked machine (see SimSbq::rebind).
+  void rebind(Machine& m) { machine_ = &m; }
 
   Addr head_addr() const { return queue_; }
   Addr tail_addr() const { return queue_ + 1; }
@@ -33,7 +36,7 @@ class SimMsQueue {
 
   Task<void> enqueue(Core& c, Value element, int /*id*/) {
     assert(element >= kFirstElement);
-    const Addr node = machine_.alloc(2);
+    const Addr node = machine_->alloc(2);
     co_await c.store(node_value(node), element);
     for (;;) {
       const Addr tail = co_await c.load(tail_addr());
@@ -73,7 +76,7 @@ class SimMsQueue {
   }
 
  private:
-  Machine& machine_;
+  Machine* machine_;
   Config cfg_;
   Addr queue_ = 0;
 };

@@ -54,7 +54,7 @@ class SimSbq {
   };
 
   SimSbq(Machine& m, Config cfg)
-      : machine_(m), cfg_(cfg),
+      : machine_(&m), cfg_(cfg),
         basket_cap_(cfg.basket_capacity == 0 ? cfg.enqueuers
                                              : cfg.basket_capacity),
         stripes_(cfg.extraction_stripes < 1 ? 1
@@ -71,6 +71,12 @@ class SimSbq {
     m.directory().poke(tail_addr(), sentinel);
     m.directory().poke(node_link(sentinel), pack_link(0, 0));
   }
+
+  // Re-point the queue at a forked machine (Machine::fork). The queue's
+  // own state is host-side values plus simulated addresses, which are
+  // machine-independent; sweep cells copy the warmed prototype queue and
+  // rebind the copy to their fork.
+  void rebind(Machine& m) { machine_ = &m; }
 
   static constexpr int kInitCyclesPerCell = 2;
 
@@ -123,7 +129,7 @@ class SimSbq {
       co_await c.store(node_link(new_node), pack_link(my_index, 0));
       const int status = co_await try_append(c, t, t_link, new_node, my_index);
       if (status == kSuccess) {
-        if (auto* st = machine_.stats()) {
+        if (auto* st = machine_->stats()) {
           st->on_basket_append(/*won=*/true);
           ++filled_[new_node];  // the winner's own cell, stored above
         }
@@ -131,12 +137,12 @@ class SimSbq {
         break;
       }
       if (status == kFailure) {
-        if (auto* st = machine_.stats()) st->on_basket_append(/*won=*/false);
+        if (auto* st = machine_->stats()) st->on_basket_append(/*won=*/false);
         // Another node was appended; join the winner's basket.
         t = link_next(co_await c.load(node_link(t)));
         if (co_await c.cas(node_cell(t, static_cast<Value>(id)), kInsertMark,
                            element) != 0) {
-          if (machine_.stats() != nullptr) ++filled_[t];  // joined the basket
+          if (machine_->stats() != nullptr) ++filled_[t];  // joined the basket
           // Keep our node for reuse; undo its single insertion (O(1)).
           co_await c.store(node_cell(new_node, static_cast<Value>(id)),
                            kInsertMark);
@@ -193,19 +199,19 @@ class SimSbq {
   static constexpr int kBadTail = 2;
 
   Addr alloc_node_raw() {
-    return machine_.alloc(static_cast<Addr>(basket_cap_) +
+    return machine_->alloc(static_cast<Addr>(basket_cap_) +
                           static_cast<Addr>(stripes_) + 3);
   }
 
   Task<Addr> take_or_allocate(Core& c, int id) {
     Addr& slot = reusable_[static_cast<std::size_t>(id)];
     if (slot != 0) {
-      if (auto* st = machine_.stats()) st->on_basket_node(/*reused=*/true);
+      if (auto* st = machine_->stats()) st->on_basket_node(/*reused=*/true);
       const Addr node = slot;
       slot = 0;
       co_return node;
     }
-    if (auto* st = machine_.stats()) st->on_basket_node(/*reused=*/false);
+    if (auto* st = machine_->stats()) st->on_basket_node(/*reused=*/false);
     // Fresh allocation: model the basket initialization as local work.
     co_await c.think(static_cast<Time>(kInitCyclesPerCell * basket_cap_));
     co_return alloc_node_raw();
@@ -216,7 +222,7 @@ class SimSbq {
   Task<int> try_append(Core& c, Addr tail, Value tail_link, Addr new_node,
                        Value my_index) {
     if (link_next(tail_link) != 0) {
-      if (auto* st = machine_.stats()) st->on_basket_stale_tail();
+      if (auto* st = machine_->stats()) st->on_basket_stale_tail();
       co_return kBadTail;
     }
     const Value expected = pack_link(my_index - 1, 0);
@@ -245,11 +251,11 @@ class SimSbq {
         const Value index = co_await c.faa(node_counter(node), 1);
         if (index >= live) co_return 0;
         if (index == live - 1) {
-          if (auto* st = machine_.stats()) st->on_basket_close(filled_[node]);
+          if (auto* st = machine_->stats()) st->on_basket_close(filled_[node]);
           co_await c.store(node_empty(node), 1);
         }
         const Value v = co_await c.swap(node_cell(node, index), kEmptyMark);
-        if (auto* st = machine_.stats()) st->on_basket_extract(v != kInsertMark);
+        if (auto* st = machine_->stats()) st->on_basket_extract(v != kInsertMark);
         if (v != kInsertMark) co_return v;
       }
     }
@@ -265,13 +271,13 @@ class SimSbq {
         if (index == size - 1) {
           const Value drained = co_await c.faa(node_drained(node), 1);
           if (drained + 1 == static_cast<Value>(n)) {
-            if (auto* st = machine_.stats()) st->on_basket_close(filled_[node]);
+            if (auto* st = machine_->stats()) st->on_basket_close(filled_[node]);
             co_await c.store(node_empty(node), 1);
           }
         }
         const Value v =
             co_await c.swap(node_cell(node, base + index), kEmptyMark);
-        if (auto* st = machine_.stats()) st->on_basket_extract(v != kInsertMark);
+        if (auto* st = machine_->stats()) st->on_basket_extract(v != kInsertMark);
         if (v != kInsertMark) co_return v;
       }
     }
@@ -304,7 +310,7 @@ class SimSbq {
     }
   }
 
-  Machine& machine_;
+  Machine* machine_;
   Config cfg_;
   int basket_cap_;
   int stripes_;

@@ -1,39 +1,46 @@
-// SharerSet tests.
+// SharerSet + LegacyInvOrder tests.
 //
-// The bitmask gives membership; the chain replica must reproduce
-// libstdc++ unordered_set<int> iteration order *exactly*, because Inv
-// delivery order is schedule-visible (see sharer_set.hpp). The tests here
-// are therefore differential: every operation is mirrored into a real
-// std::unordered_set<int> and the full iteration order plus bucket count
-// are compared after each step. (The simulator requires libstdc++ anyway —
-// SharerSet embeds std::__detail::_Prime_rehash_policy — so the reference
-// container is by construction the one the seed used.)
+// SharerSet is a bare bitmask whose iteration order is canonical ascending
+// core id, so its differential reference is a std::set<int> (sorted order).
+// LegacyInvOrder must reproduce libstdc++ unordered_set<int> iteration
+// order *exactly* — it is the escape hatch replaying the pre-canonical Inv
+// delivery order (see legacy_inv_order.hpp) — so its tests mirror every
+// operation into a real std::unordered_set<int> and compare the full
+// iteration order plus bucket count after each step. (The simulator
+// requires libstdc++ anyway — LegacyInvOrder embeds
+// std::__detail::_Prime_rehash_policy — so the reference container is by
+// construction the one the seed used.)
 //
-// The last test scripts the §3.3 invalidation round end-to-end through the
-// Machine: N sharers, one writer, exact Inv/Inv-Ack counts.
+// The last two tests script the §3.3 invalidation round end-to-end through
+// the Machine: N sharers, one writer, exact Inv/Inv-Ack counts — once per
+// inv-order mode, since the counts must not depend on delivery order.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <set>
 #include <unordered_set>
 #include <vector>
 
+#include "sim/legacy_inv_order.hpp"
 #include "sim/machine.hpp"
 #include "sim/sharer_set.hpp"
 
 namespace sbq::sim {
 namespace {
 
-std::vector<int> order_of(const SharerSet& s) {
+template <typename Seq>
+std::vector<int> order_of(const Seq& s) {
   std::vector<int> ids;
-  for (CoreId id : s) ids.push_back(id);
+  for (int id : s) ids.push_back(id);
   return ids;
 }
 
-std::vector<int> order_of(const std::unordered_set<int>& s) {
-  return {s.begin(), s.end()};
+void expect_same(const SharerSet& s, const std::set<int>& ref, int step) {
+  ASSERT_EQ(s.size(), ref.size()) << "step " << step;
+  ASSERT_EQ(order_of(s), order_of(ref)) << "step " << step;
 }
 
-void expect_same(const SharerSet& s, const std::unordered_set<int>& ref,
+void expect_same(const LegacyInvOrder& s, const std::unordered_set<int>& ref,
                  int step) {
   ASSERT_EQ(s.size(), ref.size()) << "step " << step;
   ASSERT_EQ(s.bucket_count(), ref.bucket_count()) << "step " << step;
@@ -60,11 +67,90 @@ TEST(SharerSet, BitmaskBasics) {
   EXPECT_FALSE(s.contains(0));
 }
 
-TEST(SharerSet, IterationOrderMatchesUnorderedSetAscendingInserts) {
+TEST(SharerSet, IterationIsAscendingCoreIdOrder) {
+  // Canonical Inv order: ascending core ids regardless of insertion order.
+  // Walk past 64 ids so the multi-word bit scan and the SmallBuf heap
+  // spill are both covered.
+  SharerSet s;
+  std::set<int> ref;
+  for (int id : {7, 3, 100, 0, 64, 63, 5, 99}) {
+    s.insert(id);
+    ref.insert(id);
+    expect_same(s, ref, id);
+  }
+  EXPECT_EQ(order_of(s), (std::vector<int>{0, 3, 5, 7, 63, 64, 99, 100}));
+  for (int id : {3, 64, 0}) {
+    EXPECT_EQ(s.erase(id), ref.erase(id));
+    expect_same(s, ref, 1000 + id);
+  }
+}
+
+TEST(SharerSet, DifferentialFuzzAgainstSortedSet) {
+  SharerSet s;
+  std::set<int> ref;
+  std::uint64_t rng = 0x9E3779B97F4A7C15ULL;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int step = 0; step < 50000; ++step) {
+    // Span several bitmask words so the cross-word iterator settles are hit.
+    const int id = static_cast<int>(next() % 150);
+    switch (next() % 8) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+        s.insert(id);
+        ref.insert(id);
+        break;
+      case 4:
+      case 5:
+        ASSERT_EQ(s.erase(id), ref.erase(id)) << "step " << step;
+        break;
+      case 6:
+        ASSERT_EQ(s.contains(id), ref.count(id) == 1) << "step " << step;
+        break;
+      case 7:
+        if (next() % 32 == 0) {  // rare: lines do get fully invalidated
+          s.clear();
+          ref.clear();
+        }
+        break;
+    }
+    expect_same(s, ref, step);
+  }
+}
+
+TEST(SharerSet, CopyAndMovePreserveContents) {
+  // Directory lines live in a FlatMap, which moves them on rehash; the
+  // SmallBuf-backed bitmask must survive copy/move in both the inline and
+  // the heap-spilled regime.
+  for (int count : {5, 130}) {
+    SharerSet s;
+    std::set<int> ref;
+    for (int id = 0; id < count; ++id) {
+      s.insert(id * 3 % count);  // non-monotonic insertion order
+      ref.insert(id * 3 % count);
+    }
+    SharerSet copy = s;
+    expect_same(copy, ref, count);
+    SharerSet moved = std::move(s);
+    expect_same(moved, ref, count);
+    // The moved-to set must stay fully functional.
+    moved.insert(count + 1);
+    ref.insert(count + 1);
+    expect_same(moved, ref, count + 1);
+  }
+}
+
+TEST(LegacyInvOrder, IterationOrderMatchesUnorderedSetAscendingInserts) {
   // The common §3.3 shape: sharers accumulate in core-id order, then get
   // invalidated. Walk well past the first two bucket growths (13, 29) so
   // the rehash transcription and the SmallBuf heap spill are both covered.
-  SharerSet s;
+  LegacyInvOrder s;
   std::unordered_set<int> ref;
   for (int id = 0; id < 60; ++id) {
     s.insert(id);
@@ -82,8 +168,8 @@ TEST(SharerSet, IterationOrderMatchesUnorderedSetAscendingInserts) {
   }
 }
 
-TEST(SharerSet, DifferentialFuzzAgainstUnorderedSet) {
-  SharerSet s;
+TEST(LegacyInvOrder, DifferentialFuzzAgainstUnorderedSet) {
+  LegacyInvOrder s;
   std::unordered_set<int> ref;
   std::uint64_t rng = 0x9E3779B97F4A7C15ULL;
   auto next = [&rng] {
@@ -120,35 +206,15 @@ TEST(SharerSet, DifferentialFuzzAgainstUnorderedSet) {
   }
 }
 
-TEST(SharerSet, CopyAndMovePreserveOrder) {
-  // Directory lines live in a FlatMap, which moves them on rehash; the
-  // SmallBuf-backed members must survive copy/move in both the inline and
-  // the heap-spilled regime.
-  for (int count : {5, 60}) {
-    SharerSet s;
-    std::unordered_set<int> ref;
-    for (int id = 0; id < count; ++id) {
-      s.insert(id * 3 % count);  // non-monotonic insertion order
-      ref.insert(id * 3 % count);
-    }
-    SharerSet copy = s;
-    expect_same(copy, ref, count);
-    SharerSet moved = std::move(s);
-    expect_same(moved, ref, count);
-    // The moved-to set must stay fully functional.
-    moved.insert(count + 1);
-    ref.insert(count + 1);
-    expect_same(moved, ref, count + 1);
-  }
-}
-
-TEST(SharerSet, Section33InvalidationRoundHasExactCounts) {
+void run_section33_round(bool canonical) {
   // §3.3, scripted: cores 1..3 read line x (three GetS), then core 0
   // writes it (one GetM). The directory must invalidate every sharer —
   // exactly three Inv received, exactly three Inv-Ack collected by the
-  // requester — and end with core 0 as exclusive owner.
+  // requester — and end with core 0 as exclusive owner. The *counts* are
+  // order-independent, so both inv-order modes must produce them.
   MachineConfig cfg;
   cfg.cores = 4;
+  cfg.canonical_inv_order = canonical;
   Machine m(cfg);
   const Addr x = m.alloc();
   m.directory().poke(x, 7);
@@ -179,6 +245,14 @@ TEST(SharerSet, Section33InvalidationRoundHasExactCounts) {
   for (CoreId c = 1; c < 4; ++c) {
     EXPECT_EQ(m.core(c).line_state(x), Core::LineState::kInvalid);
   }
+}
+
+TEST(SharerSet, Section33InvalidationRoundHasExactCounts) {
+  run_section33_round(/*canonical=*/true);
+}
+
+TEST(LegacyInvOrder, Section33InvalidationRoundHasExactCounts) {
+  run_section33_round(/*canonical=*/false);
 }
 
 }  // namespace
