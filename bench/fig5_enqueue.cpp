@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   auto make = [&](int t, int repeat) {
     sim::MachineConfig mcfg;
     mcfg.cores = t;
+    apply_fault_options(mcfg, opts);
     WorkloadSpec spec;
     spec.kind = Workload::kProducerOnly;
     spec.producers = t;

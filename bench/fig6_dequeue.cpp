@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   auto make = [&](int t, int repeat) {
     sim::MachineConfig mcfg;
     mcfg.cores = t;
+    apply_fault_options(mcfg, opts);
     WorkloadSpec spec;
     spec.kind = Workload::kConsumerOnly;
     // The queue is pre-filled by `producers` concurrent enqueuers (the

@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
     sim::MachineConfig mcfg;
     mcfg.cores = total;
     mcfg.sockets = 2;
+    apply_fault_options(mcfg, opts);
     WorkloadSpec spec;
     spec.kind = Workload::kMixed;
     spec.producers = half;

@@ -24,6 +24,7 @@
 #include "benchsupport/metrics_json.hpp"
 #include "benchsupport/parallel_sweep.hpp"
 #include "benchsupport/sim_workload.hpp"
+#include "benchsupport/table.hpp"
 #include "simqueue/sim_baskets_queue.hpp"
 #include "simqueue/sim_cc_queue.hpp"
 #include "simqueue/sim_faa_queue.hpp"
@@ -80,6 +81,26 @@ inline const std::vector<std::string>& queue_names() {
     return out;
   }();
   return names;
+}
+
+// Map the shared --fault-rate/--fault-seed/--fault-jitter options onto a
+// machine's fault plan (docs/robustness.md). A zero rate with zero jitter
+// leaves the plan disabled, so default invocations keep the byte-identical
+// golden schedule. The rate splits 25/50/25 across capacity / interrupt /
+// spurious — interrupts dominate real non-conflict abort profiles.
+inline void apply_fault_options(sim::MachineConfig& mcfg,
+                                const BenchOptions& opts) {
+  if (opts.fault_rate <= 0.0 && opts.fault_jitter == 0) return;
+  sim::FaultPlan& plan = mcfg.fault_plan;
+  plan.enabled = true;
+  plan.seed = opts.fault_seed;
+  plan.capacity_rate = opts.fault_rate * 0.25;
+  plan.interrupt_rate = opts.fault_rate * 0.50;
+  plan.spurious_rate = opts.fault_rate * 0.25;
+  if (opts.fault_jitter > 0) {
+    plan.message_jitter_rate = 0.5;
+    plan.max_message_jitter = opts.fault_jitter;
+  }
 }
 
 enum class Workload { kProducerOnly, kConsumerOnly, kMixed };

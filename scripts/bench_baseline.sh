@@ -22,7 +22,8 @@ BUILD_DIR=${BUILD_DIR:-build}
 RUNS=${RUNS:-3}
 BEFORE=${1:-}
 
-for bin in fig5_enqueue fig6_dequeue fig7_mixed engine_microbench sim_microbench; do
+for bin in fig5_enqueue fig6_dequeue fig7_mixed ablation_fault_sweep \
+           engine_microbench sim_microbench; do
   if [ ! -x "$BUILD_DIR/bench/$bin" ]; then
     echo "bench_baseline: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -44,12 +45,24 @@ def sim_config():
     canonical = re.search(r"canonical_inv_order\s*=\s*(true|false)",
                           src).group(1) == "true"
     occupancy = int(re.search(r"link_occupancy\s*=\s*(\d+)", src).group(1))
+    # Robustness defaults (docs/robustness.md): the runtime invariant
+    # checker and the fault-injection master switch. Both must default to
+    # off for this baseline to be comparable across builds.
+    invariants = re.search(r"check_invariants\s*=\s*(true|false)",
+                           src).group(1) == "true"
+    faults = re.search(r"bool enabled\s*=\s*(true|false)",
+                       src).group(1) == "true"
     return {"interconnect_model": model,
             "link_occupancy": occupancy,
-            "inv_order": "canonical" if canonical else "legacy"}
+            "inv_order": "canonical" if canonical else "legacy",
+            "check_invariants": invariants,
+            "fault_injection_default": faults}
 FIG_ARGS = ["--threads", "2,4,8,16,32", "--ops", "100", "--repeats", "2",
             "--jobs", "1"]
-FIGS = ["fig5_enqueue", "fig6_dequeue", "fig7_mixed"]
+# ablation_fault_sweep rides along: its fault-injected cells stress the
+# TxCAS abort/retry machinery far harder than the clean figures, so its
+# wall-clock is the early-warning row for injection-path regressions.
+FIGS = ["fig5_enqueue", "fig6_dequeue", "fig7_mixed", "ablation_fault_sweep"]
 
 def run_timed(drv):
     exe = os.path.join(build, "bench", drv)

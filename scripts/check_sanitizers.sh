@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Build and run the unit-test suite under AddressSanitizer + UBSan in a
+# dedicated build tree (the SANITIZE CMake option). The benchmark harness
+# and examples are skipped: golden byte-identity and timing gates are
+# meaningless under sanitizer instrumentation — this run exists to catch
+# memory errors and UB in the simulator and queue implementations.
+#
+# Usage: scripts/check_sanitizers.sh [build-dir]   (default: build-asan)
+# Env:   CTEST_PARALLEL_LEVEL (default 2), SBQ_SAN_JOBS (build jobs)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build-asan}
+JOBS=${SBQ_SAN_JOBS:-$(nproc 2>/dev/null || echo 2)}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DSANITIZE=ON \
+  -DSBQ_BUILD_BENCH=OFF \
+  -DSBQ_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+# Exclude the label families that need the bench harness or compare against
+# timing/golden baselines; everything else runs instrumented.
+export ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1}
+export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -j "${CTEST_PARALLEL_LEVEL:-2}" \
+  -LE "bench|golden_rebaseline|perf_smoke|docs"
+
+echo "check_sanitizers: ASan+UBSan test run passed ($BUILD_DIR)"

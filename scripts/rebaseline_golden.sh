@@ -18,6 +18,10 @@
 #   scripts/rebaseline_golden.sh --check-cold-start fig6_dequeue
 #       # re-run with --cold-start and verify against the same (fork-path)
 #       # golden — the checkpoint/fork byte-identity gate
+#   scripts/rebaseline_golden.sh --check-fault-off fig5_enqueue
+#       # re-run with fault injection explicitly disabled (--fault-rate 0
+#       # --fault-jitter 0 --fault-seed 1) and verify against the same
+#       # golden — the golden-safety gate for the fault-injection plumbing
 #
 # Env: BUILD_DIR (default: build).
 set -euo pipefail
@@ -50,6 +54,11 @@ case "${1:-}" in
   --check-cold-start)
     mode=check
     extra_args=(--cold-start)
+    shift
+    ;;
+  --check-fault-off)
+    mode=check
+    extra_args=(--fault-rate 0 --fault-jitter 0 --fault-seed 1)
     shift
     ;;
 esac

@@ -123,6 +123,15 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
       opts.trace_path = next_value();
     } else if (std::strncmp(a, "--trace=", 8) == 0) {
       opts.trace_path = a + 8;
+    } else if (std::strcmp(a, "--fault-rate") == 0) {
+      opts.fault_rate = std::strtod(next_value(), nullptr);
+      if (opts.fault_rate < 0.0 || opts.fault_rate > 1.0) {
+        throw std::invalid_argument("--fault-rate needs a probability in [0,1]");
+      }
+    } else if (std::strcmp(a, "--fault-seed") == 0) {
+      opts.fault_seed = std::strtoull(next_value(), nullptr, 10);
+    } else if (std::strcmp(a, "--fault-jitter") == 0) {
+      opts.fault_jitter = std::strtoull(next_value(), nullptr, 10);
     } else if (std::strcmp(a, "--threads") == 0) {
       const char* list = next_value();
       std::stringstream ss(list);

@@ -64,6 +64,15 @@ struct BenchOptions {
   bool cold_start = false;
   std::string json_path;          // empty => no JSON artifact
   std::string trace_path;         // empty => no event trace
+  // Fault injection (sim drivers only; see docs/robustness.md):
+  //   --fault-rate P    total injected-abort probability per transactional
+  //                     attempt (split across capacity/interrupt/spurious);
+  //                     0 (default) leaves the fault plan disabled.
+  //   --fault-seed N    seed of the injection RNG streams.
+  //   --fault-jitter M  bounded message-latency jitter up to M cycles.
+  double fault_rate = 0.0;
+  unsigned long long fault_seed = 1;
+  unsigned long long fault_jitter = 0;
   static BenchOptions parse(int argc, char** argv);
 
   // Worker threads for the sweep pool: 1 under --serial, --jobs N when

@@ -42,6 +42,16 @@ struct TxCasConfig {
   // After this many transactional attempts, fall back to plain CAS. This is
   // what makes TxCAS wait-free despite HTM offering no progress guarantee.
   std::uint32_t max_attempts = 32;
+  // Graceful degradation: after this many NON-conflict aborts within one
+  // call (capacity, interrupt, spurious — anything but a data conflict or
+  // the explicit self-abort), stop retrying transactionally and take the
+  // plain-CAS fallback immediately. Persistent non-conflict aborts recur
+  // (a capacity overflow is deterministic; an interrupt storm starves the
+  // commit window), so burning the remaining attempt budget buys nothing.
+  // 0 (default) disables degradation — on hosts without RTM every abort
+  // reports as non-conflict, and the bounded retry loop IS the intended
+  // delayed-CAS behavior there.
+  std::uint32_t max_nonconflict_aborts = 0;
 };
 
 // Explicit-abort code used by the value-mismatch self-abort.
@@ -54,6 +64,7 @@ class TxCas {
 
   // CAS(target, expected, desired) with TxCAS failure scalability.
   bool operator()(std::atomic<T>& target, T expected, T desired) const noexcept {
+    std::uint32_t nonconflict_aborts = 0;
     for (std::uint32_t attempt = 0; attempt < cfg_.max_attempts; ++attempt) {
       const unsigned ret = htm::begin();
       if (htm::started(ret)) {
@@ -76,7 +87,14 @@ class TxCas {
       }
       if (!(htm::is_conflict(ret) && htm::is_nested(ret))) {
         // Either a non-conflict abort, or a conflict that tripped our write:
-        // retry immediately (delaying would only waste the commit window).
+        // retry immediately (delaying would only waste the commit window) —
+        // unless true non-conflict aborts have exhausted the degradation
+        // budget, in which case retrying is futile and we take the CAS.
+        if (!htm::is_conflict(ret) && !htm::is_explicit(ret) &&
+            cfg_.max_nonconflict_aborts != 0 &&
+            ++nonconflict_aborts >= cfg_.max_nonconflict_aborts) {
+          break;
+        }
         continue;
       }
       // Conflict during the read step: someone's write is in flight. Wait

@@ -89,16 +89,12 @@ class BasketsQueue {
           backoff.pause();
         }
       } else {
-        // Stale tail: chase the last node and swing the tail pointer.
-        Node* last = ptr(next_w);
-        Word last_next = last->next.load(std::memory_order_acquire);
-        while (ptr(last_next) != nullptr &&
-               tail_w == tail_.load(std::memory_order_acquire)) {
-          last = ptr(last_next);
-          last_next = last->next.load(std::memory_order_acquire);
-        }
+        // Stale tail: help it one node forward and retry. Only the tail
+        // node itself is hazard-protected here, so chasing the true last
+        // node would dereference successors a concurrent dequeuer may
+        // already have retired (head can advance past a stale tail).
         Word tw = tail_w;
-        tail_.compare_exchange_strong(tw, pack(last, false),
+        tail_.compare_exchange_strong(tw, pack(ptr(next_w), false),
                                       std::memory_order_acq_rel,
                                       std::memory_order_acquire);
       }
@@ -114,15 +110,26 @@ class BasketsQueue {
       if (head_w != head_.load(std::memory_order_acquire)) continue;
       const Word tail_w = tail_.load(std::memory_order_acquire);
 
-      // Skip over logically deleted nodes after head.
+      // Skip over logically deleted nodes after head. Each hop publishes a
+      // hazard on the node and re-validates head *before* dereferencing it:
+      // nodes are only retired by the dequeuer that advances head, so an
+      // unmoved head means nothing reachable from it has been retired,
+      // while a moved head means `iter` may already be freed — restart.
       Node* iter = head;
       Word next_w = iter->next.load(std::memory_order_acquire);
+      bool head_moved = false;
       while (deleted(next_w) && ptr(next_w) != nullptr) {
         iter = ptr(next_w);
         hp_.set(iter, id, 1);
+        if (head_w != head_.load(std::memory_order_seq_cst)) {
+          head_moved = true;
+          break;
+        }
         next_w = iter->next.load(std::memory_order_acquire);
       }
-      if (head_w != head_.load(std::memory_order_acquire)) continue;
+      if (head_moved || head_w != head_.load(std::memory_order_acquire)) {
+        continue;
+      }
 
       if (ptr(next_w) == nullptr) {
         // Reached the end through deleted nodes: free the chain, then empty.
@@ -133,23 +140,24 @@ class BasketsQueue {
       }
 
       if (head == ptr(tail_w)) {
-        // Tail is stale; help it forward, then retry.
-        Node* last = iter;
-        Word ln = next_w;
-        while (ptr(ln) != nullptr) {
-          last = ptr(ln);
-          ln = last->next.load(std::memory_order_acquire);
-        }
+        // Tail is stale; help it one node forward, then retry. `next_w`
+        // came from a hazard-protected node after the head validation, so
+        // the CAS target is a list node — walking further would
+        // dereference nodes no hazard protects.
         Word tw = tail_w;
-        tail_.compare_exchange_strong(tw, pack(last, false),
+        tail_.compare_exchange_strong(tw, pack(ptr(next_w), false),
                                       std::memory_order_acq_rel,
                                       std::memory_order_acquire);
         continue;
       }
 
-      // Logically delete the first live successor.
+      // Logically delete the first live successor. After publishing the
+      // hazard, re-validate head (not just iter->next: free_chain never
+      // rewrites next pointers, so an unchanged iter->next does not prove
+      // `next` escaped a concurrent retirement sweep) before touching it.
       Node* next = ptr(next_w);
       hp_.set(next, id, 2);
+      if (head_w != head_.load(std::memory_order_seq_cst)) continue;
       if (iter->next.load(std::memory_order_acquire) != next_w) continue;
       T* element = next->element;
       Word e = next_w;

@@ -1,14 +1,44 @@
 // Core operation plumbing and the TxCAS state machine.
 #include "sim/core.hpp"
 
+#include "common/rng.hpp"
 #include "sim/trace.hpp"
 
 namespace sbq::sim {
 
+namespace {
+// Probability in [0,1] → uint32 threshold for a `draw < t` test on the top
+// 32 bits of a 64-bit random word. Saturates so rate=1.0 always fires.
+std::uint32_t rate_to_threshold(double rate) noexcept {
+  if (rate <= 0.0) return 0;
+  if (rate >= 1.0) return 0xffffffffu;
+  return static_cast<std::uint32_t>(rate * 4294967296.0);
+}
+}  // namespace
+
 Core::Core(CoreId id, Engine& engine, Interconnect& net,
            const MachineConfig& cfg, Trace* trace, Stats* metrics)
     : id_(id), engine_(engine), net_(net), cfg_(cfg), trace_(trace),
-      metrics_(metrics), dir_(net.directory_id()) {}
+      metrics_(metrics), dir_(net.directory_id()) {
+  const FaultPlan& plan = cfg_.fault_plan;
+  if (plan.rates_active()) {
+    // Per-core stream: decorrelate cores by mixing the id into the seed.
+    SplitMix64 sm(plan.seed ^
+                  (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(id_) + 1)));
+    fault_rng_state_ = sm.next();
+    // Cumulative thresholds: one draw selects capacity / interrupt /
+    // spurious / none.
+    const std::uint64_t cap = rate_to_threshold(plan.capacity_rate);
+    const std::uint64_t intr = rate_to_threshold(plan.interrupt_rate);
+    const std::uint64_t spur = rate_to_threshold(plan.spurious_rate);
+    const auto sat = [](std::uint64_t v) {
+      return static_cast<std::uint32_t>(v > 0xffffffffu ? 0xffffffffu : v);
+    };
+    fault_cap_t_ = sat(cap);
+    fault_int_t_ = sat(cap + intr);
+    fault_spur_t_ = sat(cap + intr + spur);
+  }
+}
 
 Core::LineState Core::line_state(Addr a) const {
   auto it = lines_.find(a);
@@ -17,7 +47,7 @@ Core::LineState Core::line_state(Addr a) const {
 
 Core::State Core::save_state() const {
   assert(quiescent() && "cannot snapshot a core with in-flight state");
-  return State{lines_, stats_, delay_jitter_state_};
+  return State{lines_, stats_, delay_jitter_state_, fault_rng_state_};
 }
 
 void Core::restore_state(const State& s) {
@@ -25,6 +55,7 @@ void Core::restore_state(const State& s) {
   lines_ = s.lines;
   stats_ = s.stats;
   delay_jitter_state_ = s.delay_jitter_state;
+  fault_rng_state_ = s.fault_rng_state;
 }
 
 // ---------------------------------------------------------------------------
@@ -214,13 +245,21 @@ void Core::start_txcas(Addr a, Value expected, Value desired, TxCasConfig cfg,
   op->desired = desired;
   op->cfg = cfg;
   op->attempt = 0;
+  op->nonconflict_aborts = 0;
   op->done = std::move(done);
   txcas_attempt(op);
 }
 
 void Core::txcas_attempt(TxCasOp* op) {
   if (op->attempt >= op->cfg.max_attempts) {
-    txcas_fallback(op);
+    txcas_fallback(op, /*degraded=*/false);
+    return;
+  }
+  // Graceful degradation: persistent non-conflict aborts (capacity,
+  // interrupt, spurious) won't be fixed by retrying — take the plain CAS.
+  if (op->cfg.max_nonconflict_aborts > 0 &&
+      op->nonconflict_aborts >= op->cfg.max_nonconflict_aborts) {
+    txcas_fallback(op, /*degraded=*/true);
     return;
   }
   ++op->attempt;
@@ -295,6 +334,31 @@ void Core::txcas_on_read_ready(TxCasOp* op, Addr a, std::uint64_t token) {
     if (!txn_.active || txn_.token != token) return;
     txcas_enter_write(op);
   });
+
+  // Rate-based fault injection (MachineConfig::fault_plan): one draw per
+  // transactional attempt; a hit schedules an injected abort at a
+  // deterministic offset inside the attempt's vulnerability window. The
+  // callback is token-guarded, so an attempt that already ended (committed
+  // or aborted on a real conflict) ignores the stale fault.
+  if ((fault_cap_t_ | fault_int_t_ | fault_spur_t_) != 0) {
+    std::uint64_t z = (fault_rng_state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const auto draw = static_cast<std::uint32_t>(z >> 32);
+    if (draw < fault_spur_t_) {
+      const FaultKind kind = draw < fault_cap_t_    ? FaultKind::kCapacity
+                             : draw < fault_int_t_ ? FaultKind::kInterrupt
+                                                   : FaultKind::kSpurious;
+      const Time window = op->cfg.intra_txn_delay + jitter;
+      const Time offset =
+          1 + static_cast<Time>(z & 0xffffffffu) % (window == 0 ? 1 : window);
+      engine_.schedule(offset, [this, kind, token] {
+        if (!txn_.active || txn_.token != token) return;
+        deliver_injected_fault(kind);
+      });
+    }
+  }
 }
 
 void Core::txcas_enter_write(TxCasOp* op) {
@@ -400,9 +464,45 @@ void Core::txcas_post_abort(TxCasOp* op) {
   }));
 }
 
-void Core::txcas_fallback(TxCasOp* op) {
-  ++stats_.fallbacks;
-  if (metrics_) metrics_->on_txn_fallback(id_);
+void Core::inject_fault(FaultKind kind) { deliver_injected_fault(kind); }
+
+void Core::deliver_injected_fault(FaultKind kind) {
+  if (!txn_.active) return;  // landed between transactions: harmless
+  AbortCause cause = AbortCause::kSpurious;
+  switch (kind) {
+    case FaultKind::kCapacity:
+      cause = AbortCause::kCapacity;
+      ++stats_.injected_capacity;
+      break;
+    case FaultKind::kInterrupt:
+      cause = AbortCause::kInterrupt;
+      ++stats_.injected_interrupt;
+      break;
+    case FaultKind::kSpurious:
+      cause = AbortCause::kSpurious;
+      ++stats_.injected_spurious;
+      break;
+  }
+  TxCasOp* op = txn_op_;
+  if (op) ++op->nonconflict_aborts;
+  if (trace_ && trace_->enabled() && op) {
+    trace_->record(engine_.now(), id_, "txcas fault injected", op->addr,
+                   static_cast<std::int64_t>(kind));
+  }
+  // Tear the attempt down like a write-phase conflict: no post-abort
+  // re-read is needed (the shared value did not change under us), just
+  // retry — or degrade, once the non-conflict budget is spent.
+  txcas_abort(/*kind=*/1, cause);
+}
+
+void Core::txcas_fallback(TxCasOp* op, bool degraded) {
+  if (degraded) {
+    ++stats_.fallback_cas;
+    if (metrics_) metrics_->on_fallback_cas(id_);
+  } else {
+    ++stats_.fallbacks;
+    if (metrics_) metrics_->on_txn_fallback(id_);
+  }
   start_rmw(Rmw::kCas, op->addr, op->expected, op->desired,
             DoneValFn([this, op](Value ok) {
     if (ok != 0) {

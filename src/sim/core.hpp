@@ -67,6 +67,13 @@ struct CoreStats {
   std::uint64_t uarch_fix_stalls = 0;   // §3.4.1 fix engaged
   std::uint64_t self_aborts = 0;        // value mismatch inside the txn
   std::uint64_t fallbacks = 0;          // plain-CAS fallback taken
+  // Fault injection (zero unless MachineConfig::fault_plan fires here):
+  std::uint64_t injected_capacity = 0;
+  std::uint64_t injected_interrupt = 0;
+  std::uint64_t injected_spurious = 0;
+  // Graceful degradation: plain-CAS taken after K non-conflict aborts
+  // (TxCasConfig::max_nonconflict_aborts) — disjoint from `fallbacks`.
+  std::uint64_t fallback_cas = 0;
 };
 
 class Core {
@@ -94,6 +101,12 @@ class Core {
 
   // Network entry point (registered with the interconnect).
   void handle(const Message& msg);
+
+  // Fault injection entry point (Machine one-shots; rate-based injection is
+  // internal). Aborts the in-flight transaction with the given cause — a
+  // no-op when the core is not mid-transaction, like a real timer interrupt
+  // landing between transactions.
+  void inject_fault(FaultKind kind);
 
   // ---- awaitables for coroutine programs ----
   struct ValueAwaiter {
@@ -175,6 +188,9 @@ class Core {
     FlatMap<Line> lines;
     CoreStats stats;
     std::uint64_t delay_jitter_state = 0;
+    // Rate-based fault-injection PRNG (draws once per transactional
+    // attempt); carried so forked repeats replay byte-identically.
+    std::uint64_t fault_rng_state = 0;
   };
   State save_state() const;
   void restore_state(const State& s);
@@ -224,6 +240,10 @@ class Core {
     Value desired = 0;
     TxCasConfig cfg;
     int attempt = 0;
+    // Non-conflict aborts (injected capacity/interrupt/spurious) seen by
+    // this call; at cfg.max_nonconflict_aborts the call degrades to a
+    // plain CAS instead of retrying transactionally.
+    int nonconflict_aborts = 0;
     DoneBoolFn done;
   };
   void txcas_attempt(TxCasOp* op);
@@ -234,7 +254,12 @@ class Core {
   // in the metrics registry (kind 0 = read/delay phase, 1 = write phase).
   void txcas_abort(int kind, AbortCause cause);
   void txcas_post_abort(TxCasOp* op);
-  void txcas_fallback(TxCasOp* op);
+  // Plain-CAS fallback; `degraded` distinguishes the non-conflict-abort
+  // degradation path (fallback_cas) from the attempt-budget one (fallbacks).
+  void txcas_fallback(TxCasOp* op, bool degraded);
+  // Deliver an injected abort to the in-flight transaction (no-op without
+  // one). Maps FaultKind to AbortCause and counts per kind.
+  void deliver_injected_fault(FaultKind kind);
 
   // -- protocol message handling (cache.cpp) --
   void on_data(const Message& msg);
@@ -262,6 +287,14 @@ class Core {
   FlatMap<InlineVec<WaiterFn, 4>> waiters_;
   Txn txn_;
   std::uint64_t delay_jitter_state_ = 0x9e3779b97f4a7c15ULL;
+  // Rate-based fault injection: per-core SplitMix64 stream seeded from
+  // (fault_plan.seed, id) plus cumulative uint32 thresholds so one draw
+  // per transactional attempt selects capacity / interrupt / spurious /
+  // none (thresholds all zero when rates are inactive — one compare).
+  std::uint64_t fault_rng_state_ = 0;
+  std::uint32_t fault_cap_t_ = 0;
+  std::uint32_t fault_int_t_ = 0;
+  std::uint32_t fault_spur_t_ = 0;
   TxCasOp txcas_op_;          // per-core operation slot
   TxCasOp* txn_op_ = nullptr; // points at txcas_op_ while a txn is active
   CoreStats stats_;

@@ -76,6 +76,15 @@ class Directory {
   CoreId line_owner(Addr addr) const;
   std::size_t sharer_count(Addr addr) const;
 
+  // Invariant-checker visitor: fn(addr, state, owner, sharers) for every
+  // tracked line. Read-only; `sharers` excludes the owner.
+  template <typename Fn>
+  void visit_lines(Fn&& fn) const {
+    for (const auto& [addr, line] : lines_) {
+      fn(addr, line.state, line.owner, line.sharers);
+    }
+  }
+
  private:
   struct Line {
     LineState state = LineState::kInvalid;

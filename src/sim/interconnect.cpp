@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/rng.hpp"
 #include "sim/trace.hpp"
 
 namespace sbq::sim {
@@ -21,11 +22,24 @@ const char* msg_type_name(MsgType t) noexcept {
   return "?";
 }
 
-Interconnect::Interconnect(Engine& engine, const MachineConfig& cfg, Trace* trace)
-    : engine_(engine), cfg_(cfg), trace_(trace), handlers_(cfg.cores + 1) {
+Interconnect::Interconnect(Engine& engine, const MachineConfig& cfg,
+                           Trace* trace, DebugRing* debug_ring)
+    : engine_(engine), cfg_(cfg), trace_(trace), debug_ring_(debug_ring),
+      handlers_(cfg.cores + 1) {
   if (cfg_.interconnect_model == InterconnectModel::kLink) {
     links_.resize(static_cast<std::size_t>(cfg_.sockets) *
                   static_cast<std::size_t>(cfg_.sockets));
+  }
+  const FaultPlan& plan = cfg_.fault_plan;
+  if (plan.jitter_active()) {
+    jitter_on_ = true;
+    jitter_rng_state_ = SplitMix64(plan.seed ^ 0xd1b54a32d192ed03ULL).next();
+    const double r = plan.message_jitter_rate;
+    jitter_threshold_ =
+        r >= 1.0 ? 0xffffffffu
+                 : static_cast<std::uint32_t>(r <= 0.0 ? 0 : r * 4294967296.0);
+    const auto nodes = static_cast<std::size_t>(cfg_.cores) + 1;
+    last_arrival_.assign(nodes * nodes, 0);
   }
 }
 
@@ -76,6 +90,35 @@ void Interconnect::send(CoreId src, CoreId dst, Message msg) {
   } else {
     delay = latency(src, dst);
   }
+  if (jitter_on_) {
+    // Draw jitter per message; then clamp EVERY arrival (jittered or not)
+    // to the pair's previous arrival so per-(src,dst) FIFO order survives.
+    std::uint64_t z = (jitter_rng_state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    if (static_cast<std::uint32_t>(z >> 32) < jitter_threshold_) {
+      const Time extra =
+          1 + static_cast<Time>(z & 0xffffffffu) % cfg_.fault_plan.max_message_jitter;
+      delay += extra;
+      ++jittered_msgs_;
+      jitter_cycles_ += extra;
+    }
+    const auto nodes = static_cast<std::size_t>(cfg_.cores) + 1;
+    Time& last = last_arrival_[static_cast<std::size_t>(src) * nodes +
+                              static_cast<std::size_t>(dst)];
+    const Time now = engine_.now();
+    Time arrival = now + delay;
+    if (arrival < last) {
+      jitter_cycles_ += last - arrival;
+      arrival = last;
+      delay = arrival - now;
+    }
+    last = arrival;
+  }
+  if (debug_ring_ != nullptr) {
+    debug_ring_->record(engine_.now(), src, dst, msg.type, msg.addr, msg.value);
+  }
   engine_.schedule(delay, [&handler, msg] { handler(msg); });
 }
 
@@ -86,18 +129,28 @@ Interconnect::State Interconnect::save_state() const {
   s.link_wait_cycles = link_wait_cycles_;
   s.link_busy_until.reserve(links_.size());
   for (const Link& l : links_) s.link_busy_until.push_back(l.busy_until);
+  s.jitter_rng_state = jitter_rng_state_;
+  s.jittered_msgs = jittered_msgs_;
+  s.jitter_cycles = jitter_cycles_;
+  s.last_arrival = last_arrival_;
   return s;
 }
 
 void Interconnect::restore_state(const State& s) {
   assert(s.link_busy_until.size() == links_.size() &&
          "snapshot taken under a different interconnect topology");
+  assert(s.last_arrival.size() == last_arrival_.size() &&
+         "snapshot taken under a different jitter configuration");
   sent_ = s.sent;
   link_msgs_ = s.link_msgs;
   link_wait_cycles_ = s.link_wait_cycles;
   for (std::size_t i = 0; i < links_.size(); ++i) {
     links_[i].busy_until = s.link_busy_until[i];
   }
+  jitter_rng_state_ = s.jitter_rng_state;
+  jittered_msgs_ = s.jittered_msgs;
+  jitter_cycles_ = s.jitter_cycles;
+  last_arrival_ = s.last_arrival;
 }
 
 }  // namespace sbq::sim

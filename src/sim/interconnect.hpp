@@ -34,6 +34,7 @@
 namespace sbq::sim {
 
 class Trace;
+class DebugRing;
 
 // Delivery handlers capture at most a couple of pointers ([this] of a core
 // or directory, a test probe's references); keeping them inline removes
@@ -44,7 +45,11 @@ class Interconnect {
  public:
   // Node ids 0..cores-1 are cores; id `cores` is the directory/LLC, which
   // is homed on socket 0.
-  Interconnect(Engine& engine, const MachineConfig& cfg, Trace* trace);
+  // `debug_ring`, when non-null, records every send into a small
+  // preallocated POD ring for post-mortem dumps (watchdog / invariant
+  // checker) independent of the opt-in Trace.
+  Interconnect(Engine& engine, const MachineConfig& cfg, Trace* trace,
+               DebugRing* debug_ring = nullptr);
 
   void set_handler(CoreId node, MessageHandlerFn handler);
 
@@ -62,6 +67,9 @@ class Interconnect {
   // under kFlat).
   std::uint64_t link_messages() const noexcept { return link_msgs_; }
   std::uint64_t link_wait_cycles() const noexcept { return link_wait_cycles_; }
+  // Fault-plan message jitter (zero unless fault_plan.jitter_active()).
+  std::uint64_t jittered_messages() const noexcept { return jittered_msgs_; }
+  std::uint64_t jitter_cycles() const noexcept { return jitter_cycles_; }
 
   // Schedule-visible state for Machine::snapshot()/fork(). Restore is only
   // valid against an Interconnect built from the same MachineConfig (link
@@ -71,6 +79,11 @@ class Interconnect {
     std::uint64_t link_msgs = 0;
     std::uint64_t link_wait_cycles = 0;
     std::vector<Time> link_busy_until;  // row-major [src_socket][dst_socket]
+    // Jitter machinery (empty/zero unless jitter is active).
+    std::uint64_t jitter_rng_state = 0;
+    std::uint64_t jittered_msgs = 0;
+    std::uint64_t jitter_cycles = 0;
+    std::vector<Time> last_arrival;  // row-major [src_node][dst_node]
   };
   State save_state() const;
   void restore_state(const State& s);
@@ -91,11 +104,23 @@ class Interconnect {
   Engine& engine_;
   MachineConfig cfg_;
   Trace* trace_;
+  DebugRing* debug_ring_;
   std::vector<MessageHandlerFn> handlers_;
   std::vector<Link> links_;  // empty under kFlat
   std::uint64_t sent_ = 0;
   std::uint64_t link_msgs_ = 0;
   std::uint64_t link_wait_cycles_ = 0;
+  // Bounded message-latency jitter (fault_plan.jitter_active() only).
+  // Jitter only ever *adds* delay, and every send clamps its arrival to
+  // the pair's previous arrival, so the protocol's per-(src,dst) FIFO
+  // assumption survives any jitter draw. The clamp table is preallocated
+  // [(cores+1)²] and only consulted when jitter is active.
+  bool jitter_on_ = false;
+  std::uint64_t jitter_rng_state_ = 0;
+  std::uint32_t jitter_threshold_ = 0;
+  std::uint64_t jittered_msgs_ = 0;
+  std::uint64_t jitter_cycles_ = 0;
+  std::vector<Time> last_arrival_;  // row-major [src_node][dst_node]
 };
 
 }  // namespace sbq::sim

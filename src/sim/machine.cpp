@@ -1,6 +1,10 @@
 #include "sim/machine.hpp"
 
 #include <cassert>
+#include <iostream>
+#include <stdexcept>
+
+#include "sim/invariants.hpp"
 
 namespace sbq::sim {
 
@@ -9,16 +13,33 @@ Machine::Machine(MachineConfig cfg)
   if (cfg_.collect_stats) {
     stats_ = std::make_unique<Stats>(cfg_.cores, cfg_.track_lines);
   }
-  net_ = std::make_unique<Interconnect>(engine_, cfg_, &trace_);
+  net_ = std::make_unique<Interconnect>(engine_, cfg_, &trace_, &debug_ring_);
   directory_ = std::make_unique<Directory>(engine_, *net_, cfg_, &trace_);
-  net_->set_handler(net_->directory_id(),
-                    [this](const Message& m) { directory_->handle(m); });
+  if (cfg_.check_invariants) {
+    net_->set_handler(net_->directory_id(), [this](const Message& m) {
+      directory_->handle(m);
+      check_invariants_now();
+    });
+  } else {
+    net_->set_handler(net_->directory_id(),
+                      [this](const Message& m) { directory_->handle(m); });
+  }
   cores_.reserve(static_cast<std::size_t>(cfg_.cores));
   for (int i = 0; i < cfg_.cores; ++i) {
     cores_.push_back(std::make_unique<Core>(i, engine_, *net_, cfg_, &trace_,
                                             stats_.get()));
     Core* c = cores_.back().get();
-    net_->set_handler(i, [c](const Message& m) { c->handle(m); });
+    if (cfg_.check_invariants) {
+      net_->set_handler(i, [this, c](const Message& m) {
+        c->handle(m);
+        check_invariants_now();
+      });
+    } else {
+      net_->set_handler(i, [c](const Message& m) { c->handle(m); });
+    }
+  }
+  if (cfg_.fault_plan.enabled) {
+    one_shots_pending_ = cfg_.fault_plan.one_shots.size();
   }
 }
 
@@ -36,12 +57,34 @@ Machine::Machine(const MachineSnapshot& snap) : Machine(snap.cfg) {
   spawned_ = snap.spawned;
   finished_ = snap.finished;
   started_ = snap.started;
+  // A started snapshot already fired (or discarded) its one-shots in the
+  // machine it was taken from; a fork must not re-fire them.
+  if (started_) one_shots_pending_ = 0;
 }
 
 MachineSnapshot Machine::snapshot() const {
-  assert(engine_.idle() && "snapshot requires a drained event queue");
-  assert(roots_.empty() && spawned_ == finished_ &&
-         "snapshot requires every spawned task to have finished");
+  if (!engine_.idle()) {
+    throw std::runtime_error(
+        "Machine::snapshot: event queue not drained (call between run() "
+        "phases, not mid-simulation)");
+  }
+  if (!roots_.empty() || spawned_ != finished_) {
+    throw std::runtime_error(
+        "Machine::snapshot: spawned tasks have not finished");
+  }
+  if (one_shots_pending_ != 0) {
+    throw std::runtime_error(
+        "Machine::snapshot: scheduled fault one-shots are pending or in "
+        "flight; run the machine past them (or drop them from the "
+        "FaultPlan) before snapshotting");
+  }
+  for (const auto& c : cores_) {
+    if (!c->quiescent()) {
+      throw std::runtime_error(
+          "Machine::snapshot: a core holds in-flight protocol or "
+          "transaction state");
+    }
+  }
   MachineSnapshot snap;
   snap.cfg = cfg_;
   snap.engine = engine_.save_checkpoint();
@@ -70,6 +113,18 @@ MetricsSnapshot Machine::metrics() const {
   snap.link_wait_cycles = net_->link_wait_cycles();
   snap.events = engine_.events_processed();
   snap.final_time = engine_.now();
+  snap.fault_injection = cfg_.fault_plan.enabled;
+  if (snap.fault_injection) {
+    for (const auto& c : cores_) {
+      const CoreStats& cs = c->stats();
+      snap.faults.injected_capacity += cs.injected_capacity;
+      snap.faults.injected_interrupt += cs.injected_interrupt;
+      snap.faults.injected_spurious += cs.injected_spurious;
+    }
+    snap.faults.one_shots_fired = one_shots_fired_;
+    snap.faults.jittered_messages = net_->jittered_messages();
+    snap.faults.jitter_cycles = net_->jitter_cycles();
+  }
   return snap;
 }
 
@@ -96,15 +151,46 @@ void Machine::spawn(Task<void> task) {
   }
 }
 
-Time Machine::run() {
-  if (!started_) {
-    started_ = true;
-    for (auto h : roots_) {
-      engine_.schedule(0, [h] { h.resume(); });
+void Machine::start() {
+  started_ = true;
+  for (auto h : roots_) {
+    engine_.schedule(0, [h] { h.resume(); });
+  }
+  // Schedule the fault plan's one-shots now (not in the constructor): a
+  // forked machine arrives here with started_ already true, so a warm
+  // snapshot's one-shots — fired before the snapshot — never re-fire.
+  if (one_shots_pending_ != 0) {
+    const Time now = engine_.now();
+    for (const FaultOneShot& shot : cfg_.fault_plan.one_shots) {
+      const Time delay = shot.time > now ? shot.time - now : 0;
+      const CoreId target = shot.core;
+      const FaultKind kind = shot.kind;
+      engine_.schedule(delay, [this, target, kind] {
+        --one_shots_pending_;
+        ++one_shots_fired_;
+        if (target >= 0 && target < cfg_.cores) {
+          cores_[static_cast<std::size_t>(target)]->inject_fault(kind);
+        }
+      });
     }
   }
+}
+
+Time Machine::run() {
+  if (!started_) start();
   const Time t = engine_.run();
-  assert(finished_ == spawned_ && "simulated program deadlocked");
+  if (finished_ != spawned_) {
+    // Quiescence watchdog: the event queue drained but simulated threads
+    // are still blocked — a deadlock in the simulated program (or a
+    // protocol bug that dropped a wakeup). Dump what we know and throw
+    // instead of asserting (the default build compiles with NDEBUG) or
+    // silently returning a half-finished run.
+    dump_debug_state("event queue drained with unfinished tasks");
+    throw std::runtime_error(
+        "Machine::run: simulated program deadlocked (" +
+        std::to_string(finished_) + " of " + std::to_string(spawned_) +
+        " tasks finished; debug ring dumped to stderr)");
+  }
   // Every root is parked at its final suspend point now: destroy the frames
   // so the frame pool can recycle them for the next batch of spawns (keeps
   // repeated run() phases allocation-free; see bench/sim_microbench.cpp).
@@ -116,13 +202,26 @@ Time Machine::run() {
 }
 
 bool Machine::run_until(Time limit) {
-  if (!started_) {
-    started_ = true;
-    for (auto h : roots_) {
-      engine_.schedule(0, [h] { h.resume(); });
-    }
-  }
+  if (!started_) start();
   return engine_.run_until(limit);
+}
+
+void Machine::check_invariants_now() {
+  std::string violation = check_swmr_invariants(*directory_, cores_);
+  if (violation.empty()) return;
+  dump_debug_state(violation.c_str());
+  throw std::logic_error("coherence invariant violated: " + violation);
+}
+
+void Machine::dump_debug_state(const char* why) {
+  std::cerr << "=== sim debug dump (t=" << engine_.now() << "): " << why
+            << " ===\n";
+  debug_ring_.dump(std::cerr);
+  if (trace_.enabled()) {
+    std::cerr << "--- trace tail ---\n";
+    trace_.print(std::cerr);
+  }
+  std::cerr.flush();
 }
 
 }  // namespace sbq::sim

@@ -58,7 +58,9 @@ class Machine {
   // protocol or transaction state — i.e. call it between run() phases, not
   // mid-simulation. Simulated memory contents (directory lines + caches)
   // carry over, so a queue prefilled before snapshot() is prefilled in
-  // every fork.
+  // every fork. Throws std::runtime_error (always compiled, not an assert)
+  // when called on a non-quiescent machine or while scheduled fault
+  // one-shots are pending or in flight.
   MachineSnapshot snapshot() const;
   static std::unique_ptr<Machine> fork(const MachineSnapshot& snap) {
     return std::make_unique<Machine>(snap);
@@ -99,8 +101,11 @@ class Machine {
   }
 
   // Run the event loop until every spawned task finishes and the queue
-  // drains. Returns the final simulated time. Aborts (assert) if the queue
-  // drains with unfinished tasks (deadlock in the simulated program).
+  // drains. Returns the final simulated time. If the queue drains with
+  // unfinished tasks (deadlock in the simulated program), the quiescence
+  // watchdog dumps the debug ring + trace to stderr and throws
+  // std::runtime_error instead of hanging or silently continuing — always
+  // compiled, so it fires in the default (NDEBUG) build too.
   Time run();
 
   // Bounded run for tests; returns false on timeout.
@@ -111,10 +116,26 @@ class Machine {
   std::size_t spawned() const noexcept { return spawned_; }
   std::size_t finished() const noexcept { return finished_; }
 
+  // Always-on bounded ring of the last interconnect messages, for
+  // post-mortem dumps (watchdog / invariant checker). Not part of
+  // snapshots: it is debug state, not schedule state.
+  const DebugRing& debug_ring() const noexcept { return debug_ring_; }
+
  private:
+  // First-run setup: resume the spawned roots and schedule the fault
+  // plan's one-shots.
+  void start();
+  // Verify SWMR + directory/cache consistency; on violation dump the debug
+  // ring to stderr and throw std::logic_error. Wired behind every message
+  // handler when cfg_.check_invariants.
+  void check_invariants_now();
+  // Dump the debug ring and (when enabled) the trace tail to stderr.
+  void dump_debug_state(const char* why);
+
   MachineConfig cfg_;
   Engine engine_;
   Trace trace_;
+  DebugRing debug_ring_;
   std::unique_ptr<Stats> stats_;
   std::unique_ptr<Interconnect> net_;
   std::unique_ptr<Directory> directory_;
@@ -124,6 +145,11 @@ class Machine {
   std::size_t finished_ = 0;
   Addr next_addr_ = 1;  // 0 is NULL
   bool started_ = false;
+  // Fault one-shots (cfg_.fault_plan.one_shots) are scheduled lazily at the
+  // first run() so forked machines (which inherit started_ = true) do not
+  // re-fire them; pending counts configured-but-unfired one-shots.
+  std::size_t one_shots_pending_ = 0;
+  std::uint64_t one_shots_fired_ = 0;
 };
 
 // Barrier for simulated threads: all parties must arrive before any proceeds.

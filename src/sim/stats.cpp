@@ -8,6 +8,8 @@ const char* abort_cause_name(AbortCause c) noexcept {
     case AbortCause::kCapacity: return "capacity";
     case AbortCause::kTrippedWriter: return "tripped_writer";
     case AbortCause::kExplicit: return "explicit";
+    case AbortCause::kInterrupt: return "interrupt";
+    case AbortCause::kSpurious: return "spurious";
   }
   return "?";
 }
@@ -85,6 +87,11 @@ void Stats::on_txn_abort(CoreId c, AbortCause cause) {
 void Stats::on_txn_fallback(CoreId c) {
   ++htm_.fallbacks;
   ++per_core_htm_.at(static_cast<std::size_t>(c)).fallbacks;
+}
+
+void Stats::on_fallback_cas(CoreId c) {
+  ++htm_.fallback_cas;
+  ++per_core_htm_.at(static_cast<std::size_t>(c)).fallback_cas;
 }
 
 void Stats::on_uarch_fix_stall(CoreId c) {

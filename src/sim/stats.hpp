@@ -41,13 +41,24 @@ namespace sbq::sim {
 //   kTrippedWriter — a Fwd-GetS hit the commit window (§3.4).
 //   kExplicit      — _xabort(1): the value check failed inside the
 //                    transaction (Algorithm 1's self-abort).
+//   kInterrupt     — timer interrupt / context switch hit the transaction.
+//                    In the simulator this only arises from fault injection
+//                    (MachineConfig::fault_plan).
+//   kSpurious      — unexplained abort (real HTM reports these; injection
+//                    only).
 enum class AbortCause : std::uint8_t {
   kConflict = 0,
   kCapacity = 1,
   kTrippedWriter = 2,
   kExplicit = 3,
+  kInterrupt = 4,
+  kSpurious = 5,
 };
-inline constexpr int kAbortCauseCount = 4;
+// The §3 taxonomy the protocol itself can produce — always serialized to
+// JSON. The injected causes above it are serialized only when the machine
+// ran with fault injection enabled, so default artifacts stay byte-stable.
+inline constexpr int kBaseAbortCauseCount = 4;
+inline constexpr int kAbortCauseCount = 6;
 const char* abort_cause_name(AbortCause c) noexcept;
 
 // Coherence-protocol event counts. Each event is counted exactly once, at
@@ -68,6 +79,10 @@ struct HtmCounters {
   std::uint64_t attempts = 0;  // transactional attempts started
   std::uint64_t commits = 0;   // attempts that committed
   std::uint64_t fallbacks = 0; // plain-CAS fallback taken (wait-freedom)
+  // Graceful degradation: plain-CAS fallback taken early because the call
+  // accumulated TxCasConfig::max_nonconflict_aborts non-conflict aborts
+  // (capacity/interrupt/spurious) — disjoint from `fallbacks`.
+  std::uint64_t fallback_cas = 0;
   std::uint64_t uarch_fix_stalls = 0;  // §3.4.1 fix engaged
   std::array<std::uint64_t, kAbortCauseCount> aborts{};
 
@@ -101,6 +116,21 @@ struct BasketCounters {
   std::uint64_t fresh_allocs = 0;   // baskets initialized from scratch
 };
 
+// Fault-injection counters (all zero — and not serialized — unless the
+// machine ran with MachineConfig::fault_plan enabled).
+struct FaultCounters {
+  std::uint64_t injected_capacity = 0;   // rate/one-shot capacity aborts
+  std::uint64_t injected_interrupt = 0;  // rate/one-shot interrupt aborts
+  std::uint64_t injected_spurious = 0;   // rate/one-shot spurious aborts
+  std::uint64_t one_shots_fired = 0;     // scheduled one-shots delivered
+  std::uint64_t jittered_messages = 0;   // messages that drew extra latency
+  std::uint64_t jitter_cycles = 0;       // total extra cycles added
+
+  std::uint64_t injected_total() const noexcept {
+    return injected_capacity + injected_interrupt + injected_spurious;
+  }
+};
+
 // One machine's counters flattened into a copyable value — what a sweep
 // cell carries into BENCH_*.json (see benchsupport/BenchReport).
 struct MetricsSnapshot {
@@ -114,6 +144,11 @@ struct MetricsSnapshot {
   std::uint64_t link_wait_cycles = 0;
   std::uint64_t events = 0;     // engine events processed
   Time final_time = 0;          // simulated cycles at snapshot
+  // Config-derived (not data-derived) flag: true iff the machine ran with
+  // fault injection enabled. Gates the extra JSON fields so that default
+  // runs serialize exactly as before (golden byte-identity).
+  bool fault_injection = false;
+  FaultCounters faults;
 };
 
 class Stats {
@@ -138,6 +173,7 @@ class Stats {
   void on_txn_commit(CoreId c);
   void on_txn_abort(CoreId c, AbortCause cause);
   void on_txn_fallback(CoreId c);
+  void on_fallback_cas(CoreId c);  // degraded to plain CAS (non-conflict K)
   void on_uarch_fix_stall(CoreId c);
   // Call resolution: `attempts` transactional attempts were used (feeds
   // the retry histogram; fallback-resolved calls land in the last bucket).

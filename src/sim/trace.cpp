@@ -73,4 +73,18 @@ void Trace::write_jsonl(std::ostream& os, Addr only_addr) const {
   }
 }
 
+void DebugRing::dump(std::ostream& os) const {
+  const std::uint64_t cap = ring_.size();
+  const std::uint64_t n = recorded_ < cap ? recorded_ : cap;
+  os << "debug ring: last " << n << " of " << recorded_
+     << " interconnect messages (oldest first)\n";
+  const std::uint64_t first = recorded_ - n;
+  for (std::uint64_t i = first; i < recorded_; ++i) {
+    const DebugRingEntry& e = ring_[i % cap];
+    os << "  t=" << std::setw(8) << e.time << "  " << std::setw(3) << e.src
+       << " -> " << std::setw(3) << e.dst << "  " << msg_type_name(e.type)
+       << "  addr=" << e.addr << "  value=" << e.value << "\n";
+  }
+}
+
 }  // namespace sbq::sim

@@ -75,4 +75,48 @@ class Trace {
   std::vector<TraceEvent> ring_;
 };
 
+// Always-on last-messages ring for post-mortem dumps. Unlike Trace (string
+// events, opt-in via --trace), this is a small fixed buffer of POD records
+// filled on every interconnect send — cheap enough to leave on
+// unconditionally (a handful of stores per message, zero steady-state
+// allocations), so the quiescence watchdog and the invariant checker can
+// dump the tail of the message history even when no trace was requested.
+struct DebugRingEntry {
+  Time time = 0;
+  CoreId src = -1;
+  CoreId dst = -1;
+  MsgType type = MsgType::kGetS;
+  Addr addr = 0;
+  Value value = 0;
+};
+
+class DebugRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  explicit DebugRing(std::size_t capacity = kDefaultCapacity)
+      : ring_(capacity == 0 ? 1 : capacity) {}
+
+  void record(Time t, CoreId src, CoreId dst, MsgType type, Addr addr,
+              Value value) noexcept {
+    DebugRingEntry& e = ring_[recorded_ % ring_.size()];
+    e.time = t;
+    e.src = src;
+    e.dst = dst;
+    e.type = type;
+    e.addr = addr;
+    e.value = value;
+    ++recorded_;
+  }
+
+  std::uint64_t recorded() const noexcept { return recorded_; }
+
+  // Human-readable dump of the retained tail, oldest first.
+  void dump(std::ostream& os) const;
+
+ private:
+  std::vector<DebugRingEntry> ring_;
+  std::uint64_t recorded_ = 0;
+};
+
 }  // namespace sbq::sim

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace sbq::sim {
 
@@ -34,6 +35,60 @@ inline constexpr Addr kNullAddr = 0;  // sim code treats address 0 as NULL
 //           models). This is what lets ablation_numa capture *contention*
 //           on the socket link rather than just the added hop cost.
 enum class InterconnectModel : std::uint8_t { kFlat, kLink };
+
+// Kinds of HTM abort the fault-injection layer can force into an in-flight
+// simulated transaction. The simulator's protocol only ever produces
+// conflict aborts on its own; real HTM additionally aborts on footprint
+// overflow (capacity), timer interrupts/context switches, and for
+// unexplained ("spurious") reasons — the cases the paper's fallback
+// argument (§4 "Progress") has to survive.
+enum class FaultKind : std::uint8_t { kCapacity, kInterrupt, kSpurious };
+inline constexpr int kFaultKindCount = 3;
+
+// One scheduled fault: at simulated cycle `time`, abort whatever
+// transaction core `core` has in flight (a no-op if that core is not in a
+// transaction at that instant — like a real timer interrupt).
+struct FaultOneShot {
+  Time time = 0;
+  CoreId core = 0;
+  FaultKind kind = FaultKind::kInterrupt;
+};
+
+// Deterministic, seedable fault-injection plan (off by default — a default
+// plan leaves every simulated schedule and every golden byte-identical).
+//
+// Rate-based injection draws once per transactional attempt from a
+// per-core SplitMix64 stream seeded from (seed, core id); at most one fault
+// fires per attempt, at a deterministic offset inside the attempt's
+// vulnerability window. Message jitter draws per interconnect message from
+// a dedicated stream. All streams fork with Machine::snapshot(), so forked
+// repeats replay byte-identically.
+struct FaultPlan {
+  bool enabled = false;     // master switch; false ⇒ zero schedule impact
+  std::uint64_t seed = 1;   // root of every injection RNG stream
+  // Per-transactional-attempt abort probabilities in [0, 1] (summed: at
+  // most one injected abort per attempt).
+  double capacity_rate = 0.0;
+  double interrupt_rate = 0.0;
+  double spurious_rate = 0.0;
+  // Bounded message-latency jitter: with probability `message_jitter_rate`
+  // a message's delivery is delayed by a uniform 1..max_message_jitter
+  // extra cycles. Jitter only ever adds latency and per-(src,dst) FIFO
+  // order is preserved (arrival times are clamped to be monotone per
+  // pair), so every jittered schedule is protocol-legal.
+  double message_jitter_rate = 0.0;
+  Time max_message_jitter = 0;
+  // Scheduled one-shot faults (fired when run() first starts the machine).
+  std::vector<FaultOneShot> one_shots;
+
+  bool rates_active() const noexcept {
+    return enabled &&
+           (capacity_rate > 0 || interrupt_rate > 0 || spurious_rate > 0);
+  }
+  bool jitter_active() const noexcept {
+    return enabled && message_jitter_rate > 0 && max_message_jitter > 0;
+  }
+};
 
 // Machine-wide timing and topology parameters. Defaults approximate the
 // paper's Broadwell (§3.2 cites 15–30 cycles per message delay; QPI hops
@@ -70,6 +125,15 @@ struct MachineConfig {
   // Additionally key protocol counters by cache line (a hash lookup per
   // protocol event; off by default).
   bool track_lines = false;
+  // Fault injection (docs/robustness.md). Disabled by default: with the
+  // default plan every driver's output is byte-identical to tests/golden/.
+  FaultPlan fault_plan;
+  // Runtime coherence invariant checker: after every delivered protocol
+  // message, verify SWMR and directory/cache consistency (O(lines × cores)
+  // per message — always compiled, opt-in). A violation dumps the debug
+  // ring to stderr and throws std::logic_error instead of silently
+  // simulating on corrupt state.
+  bool check_invariants = false;
 };
 
 // TxCAS tuning (§4.1, §4.2). Cycle values assume 0.4 ns/cycle, so the
@@ -78,6 +142,15 @@ struct TxCasConfig {
   Time intra_txn_delay = 675;
   Time post_abort_delay = 130;  // covers an intra-socket Inv/Ack round trip
   int max_attempts = 64;  // then fall back to a plain CAS (wait-freedom)
+  // Graceful degradation: after this many NON-conflict aborts (capacity /
+  // interrupt / spurious — in the simulator these only arise from fault
+  // injection) within one TxCAS call, stop retrying transactionally and
+  // degrade to a plain CAS immediately. Retrying past persistent
+  // non-conflict aborts buys nothing: a capacity abort recurs
+  // deterministically and interrupt storms starve the commit window. The
+  // degraded path is counted separately (`fallback_cas`) from the
+  // attempt-budget fallback (`fallbacks`). 0 disables degradation.
+  int max_nonconflict_aborts = 8;
 };
 
 }  // namespace sbq::sim
