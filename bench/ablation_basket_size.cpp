@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   auto make = [&](int t, int b, int r) {
     sim::MachineConfig mcfg;
     mcfg.cores = t;
+    apply_machine_options(mcfg, opts);
     WorkloadSpec spec;
     spec.kind = Workload::kProducerOnly;
     spec.producers = t;

@@ -6,6 +6,7 @@
 // just add latency. We sweep the delay at several thread counts and report
 // mean TxCAS latency plus the pre-write-abort fraction (aborts that
 // happened before the write issued, which is what the delay buys).
+#include <atomic>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -19,6 +20,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "sim/machine.hpp"
+#include "sim_queue_bench_util.hpp"
 
 namespace sbq {
 namespace {
@@ -35,32 +37,40 @@ struct Result {
   sim::MetricsSnapshot metrics;
 };
 
-Result run(int threads, Time delay, Value ops, std::uint64_t seed,
-           const std::string& trace_path = {}) {
+Result run(const BenchOptions& opts, int threads, Time delay, Value ops,
+           std::uint64_t seed, const std::string& trace_path = {}) {
   sim::MachineConfig mcfg;
   mcfg.cores = threads;
   mcfg.record_trace = !trace_path.empty();
+  bench::apply_machine_options(mcfg, opts);
+  if (mcfg.record_trace) mcfg.machine_threads = 1;  // tracing is serial-only
   Machine m(mcfg);
   const Addr x = m.alloc();
-  auto lat = std::make_shared<double>(0);
-  auto n = std::make_shared<std::uint64_t>(0);
+  // Relaxed atomic integer accumulators: tasks may run on different machine
+  // workers under sharding, and integer cycle sums convert to the exact
+  // doubles the old sequential accumulation produced (totals < 2^53).
+  auto lat = std::make_shared<std::atomic<std::uint64_t>>(0);
+  auto n = std::make_shared<std::atomic<std::uint64_t>>(0);
   sim::TxCasConfig tx;
   tx.intra_txn_delay = delay;
   for (int c = 0; c < threads; ++c) {
-    m.spawn([](Machine& m, int c, Addr x, sim::TxCasConfig tx, Value ops,
-               std::uint64_t seed, std::shared_ptr<double> lat,
-               std::shared_ptr<std::uint64_t> n) -> Task<void> {
-      Xoshiro256 rng(seed);
-      co_await m.core(c).think(1 + rng.next_below(32));
-      for (Value i = 0; i < ops; ++i) {
-        const Value v = co_await m.core(c).load(x);
-        const Time t0 = m.engine().now();
-        co_await m.core(c).txcas(x, v, v + 1, tx);
-        *lat += static_cast<double>(m.engine().now() - t0);
-        ++*n;
-        co_await m.core(c).think(1 + rng.next_below(8));
-      }
-    }(m, c, x, tx, ops, seed + static_cast<std::uint64_t>(c), lat, n));
+    m.spawn(
+        [](Machine& m, int c, Addr x, sim::TxCasConfig tx, Value ops,
+           std::uint64_t seed, std::shared_ptr<std::atomic<std::uint64_t>> lat,
+           std::shared_ptr<std::atomic<std::uint64_t>> n) -> Task<void> {
+          Xoshiro256 rng(seed);
+          auto& core = m.core(c);
+          co_await core.think(1 + rng.next_below(32));
+          for (Value i = 0; i < ops; ++i) {
+            const Value v = co_await core.load(x);
+            const Time t0 = core.now();
+            co_await core.txcas(x, v, v + 1, tx);
+            lat->fetch_add(core.now() - t0, std::memory_order_relaxed);
+            n->fetch_add(1, std::memory_order_relaxed);
+            co_await core.think(1 + rng.next_below(8));
+          }
+        }(m, c, x, tx, ops, seed + static_cast<std::uint64_t>(c), lat, n),
+        c);
   }
   m.run();
   std::uint64_t nested = 0, tripped = 0, write_conflicts = 0;
@@ -73,7 +83,9 @@ Result run(int threads, Time delay, Value ops, std::uint64_t seed,
                        m.core(c).stats().txcas_calls;
   }
   Result r;
-  r.mean_latency_ns = *lat / static_cast<double>(*n) * ns_per_cycle();
+  r.mean_latency_ns =
+      static_cast<double>(lat->load(std::memory_order_relaxed)) /
+      static_cast<double>(n->load(std::memory_order_relaxed)) * ns_per_cycle();
   const double aborts =
       static_cast<double>(nested) + static_cast<double>(write_conflicts);
   r.pre_write_abort_fraction =
@@ -122,7 +134,7 @@ int main(int argc, char** argv) {
   run_sweep_cells(
       delays.size(), threads.size(), opts.effective_jobs(),
       [&](std::size_t i) {
-        results[i] = run(threads[i % threads.size()],
+        results[i] = run(opts, threads[i % threads.size()],
                          delays[i / threads.size()], ops, opts.seed);
       },
       [&](std::size_t row) {
@@ -164,7 +176,7 @@ int main(int argc, char** argv) {
   }
   if (!opts.trace_path.empty()) {
     // Traced cell: the paper-optimal delay at the first thread count.
-    run(threads.front(), /*delay=*/675, ops, opts.seed, opts.trace_path);
+    run(opts, threads.front(), /*delay=*/675, ops, opts.seed, opts.trace_path);
   }
   return 0;
 }

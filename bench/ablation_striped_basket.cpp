@@ -16,6 +16,7 @@
 #include "benchsupport/sweep.hpp"
 #include "benchsupport/table.hpp"
 #include "common/stats.hpp"
+#include "sim_queue_bench_util.hpp"
 #include "simqueue/sim_sbq.hpp"
 
 int main(int argc, char** argv) {
@@ -48,6 +49,8 @@ int main(int argc, char** argv) {
     sim::MachineConfig mcfg;
     mcfg.cores = t;
     mcfg.record_trace = !trace_path.empty();
+    bench::apply_machine_options(mcfg, opts);
+    if (mcfg.record_trace) mcfg.machine_threads = 1;  // tracing is serial-only
     sim::Machine m(mcfg);
     SimSbq::Config qc;
     qc.enqueuers = t;

@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
     mcfg.cores = total;
     mcfg.sockets = 2;
     mcfg.uarch_fix = fix;
+    apply_machine_options(mcfg, opts);
     WorkloadSpec spec;
     spec.kind = Workload::kMixed;
     spec.producers = half;

@@ -9,6 +9,7 @@
 //
 // Output columns: threads, FAA ns/op, TxCAS ns/op (and TxCAS success rate
 // for context; the paper plots only the latencies).
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -22,6 +23,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "sim/machine.hpp"
+#include "sim_queue_bench_util.hpp"
 
 namespace sbq {
 namespace {
@@ -32,56 +34,69 @@ using sim::Task;
 using sim::Time;
 using sim::Value;
 
+// Loop tasks may run on different machine-worker threads under sharding, so
+// the shared accumulators are relaxed atomics over integer cycle counts.
+// Integer addition commutes, the totals stay far below 2^53, and every
+// per-op delta is an exact double, so converting the final sums reproduces
+// the old sequential double accumulation bit-for-bit — the serial goldens
+// are unchanged.
 struct LoopStats {
-  double total_latency = 0;
-  std::uint64_t ops = 0;
-  std::uint64_t success = 0;
+  std::atomic<std::uint64_t> latency_cycles{0};
+  std::atomic<std::uint64_t> ops{0};
+  std::atomic<std::uint64_t> success{0};
 };
 
 Task<void> faa_loop(Machine& m, int core, Addr x, Value ops,
                     std::uint64_t seed, std::shared_ptr<LoopStats> st) {
   Xoshiro256 rng(seed);
-  co_await m.core(core).think(1 + rng.next_below(32));
+  auto& c = m.core(core);
+  co_await c.think(1 + rng.next_below(32));
   for (Value i = 0; i < ops; ++i) {
-    const Time start = m.engine().now();
-    co_await m.core(core).faa(x, 1);
-    st->total_latency += static_cast<double>(m.engine().now() - start);
-    ++st->ops;
-    ++st->success;
-    co_await m.core(core).think(1 + rng.next_below(8));
+    const Time start = c.now();
+    co_await c.faa(x, 1);
+    st->latency_cycles.fetch_add(c.now() - start, std::memory_order_relaxed);
+    st->ops.fetch_add(1, std::memory_order_relaxed);
+    st->success.fetch_add(1, std::memory_order_relaxed);
+    co_await c.think(1 + rng.next_below(8));
   }
 }
 
 Task<void> txcas_loop(Machine& m, int core, Addr x, Value ops,
                       std::uint64_t seed, std::shared_ptr<LoopStats> st) {
   Xoshiro256 rng(seed);
-  co_await m.core(core).think(1 + rng.next_below(32));
+  auto& c = m.core(core);
+  co_await c.think(1 + rng.next_below(32));
   const sim::TxCasConfig cfg;  // paper defaults: ~270 ns delay
   for (Value i = 0; i < ops; ++i) {
-    const Value v = co_await m.core(core).load(x);
-    const Time start = m.engine().now();
-    const bool ok = co_await m.core(core).txcas(x, v, v + 1, cfg);
-    st->total_latency += static_cast<double>(m.engine().now() - start);
-    ++st->ops;
-    if (ok) ++st->success;
-    co_await m.core(core).think(1 + rng.next_below(8));
+    const Value v = co_await c.load(x);
+    const Time start = c.now();
+    const bool ok = co_await c.txcas(x, v, v + 1, cfg);
+    st->latency_cycles.fetch_add(c.now() - start, std::memory_order_relaxed);
+    st->ops.fetch_add(1, std::memory_order_relaxed);
+    if (ok) st->success.fetch_add(1, std::memory_order_relaxed);
+    co_await c.think(1 + rng.next_below(8));
   }
 }
 
-double run_mode(bool txcas, int threads, Value ops, std::uint64_t seed,
-                double* success_rate, sim::MetricsSnapshot* metrics = nullptr,
+double run_mode(const BenchOptions& opts, bool txcas, int threads, Value ops,
+                std::uint64_t seed, double* success_rate,
+                sim::MetricsSnapshot* metrics = nullptr,
                 const std::string& trace_path = {}) {
   sim::MachineConfig mcfg;
   mcfg.cores = threads;
   mcfg.record_trace = !trace_path.empty();
+  bench::apply_machine_options(mcfg, opts);
+  if (mcfg.record_trace) mcfg.machine_threads = 1;  // tracing is serial-only
   Machine m(mcfg);
   const Addr x = m.alloc();
   auto st = std::make_shared<LoopStats>();
   for (int t = 0; t < threads; ++t) {
     if (txcas) {
-      m.spawn(txcas_loop(m, t, x, ops, seed + static_cast<std::uint64_t>(t), st));
+      m.spawn(txcas_loop(m, t, x, ops, seed + static_cast<std::uint64_t>(t), st),
+              t);
     } else {
-      m.spawn(faa_loop(m, t, x, ops, seed + static_cast<std::uint64_t>(t), st));
+      m.spawn(faa_loop(m, t, x, ops, seed + static_cast<std::uint64_t>(t), st),
+              t);
     }
   }
   m.run();
@@ -94,12 +109,15 @@ double run_mode(bool txcas, int threads, Value ops, std::uint64_t seed,
       std::cerr << "--trace: cannot open " << trace_path << " for writing\n";
     }
   }
+  const std::uint64_t nops = st->ops.load(std::memory_order_relaxed);
   if (success_rate != nullptr) {
-    *success_rate = st->ops ? static_cast<double>(st->success) /
-                                  static_cast<double>(st->ops)
-                            : 0.0;
+    *success_rate =
+        nops ? static_cast<double>(st->success.load(std::memory_order_relaxed)) /
+                   static_cast<double>(nops)
+             : 0.0;
   }
-  return st->total_latency / static_cast<double>(st->ops) * ns_per_cycle();
+  return static_cast<double>(st->latency_cycles.load(std::memory_order_relaxed)) /
+         static_cast<double>(nops) * ns_per_cycle();
 }
 
 }  // namespace
@@ -139,8 +157,8 @@ int main(int argc, char** argv) {
         const std::uint64_t seed =
             opts.seed + static_cast<std::uint64_t>(r) * 977;
         Cell& c = cells[i];
-        c.ns = run_mode(txcas, t, ops, seed, txcas ? &c.success_rate : nullptr,
-                        &c.metrics);
+        c.ns = run_mode(opts, txcas, t, ops, seed,
+                        txcas ? &c.success_rate : nullptr, &c.metrics);
       },
       [&](std::size_t row) {
         if (!opts.json_path.empty()) {
@@ -175,8 +193,8 @@ int main(int argc, char** argv) {
   }
   if (!opts.trace_path.empty()) {
     // Traced cell: the TxCAS mode at the first thread count, repeat 0.
-    run_mode(/*txcas=*/true, threads.front(), ops, opts.seed, nullptr, nullptr,
-             opts.trace_path);
+    run_mode(opts, /*txcas=*/true, threads.front(), ops, opts.seed, nullptr,
+             nullptr, opts.trace_path);
   }
   return 0;
 }

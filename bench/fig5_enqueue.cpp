@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
     sim::MachineConfig mcfg;
     mcfg.cores = t;
     apply_fault_options(mcfg, opts);
+    apply_machine_options(mcfg, opts);
     WorkloadSpec spec;
     spec.kind = Workload::kProducerOnly;
     spec.producers = t;
@@ -71,7 +72,7 @@ int main(int argc, char** argv) {
         lat_table.add_row(lat_row);
         thr_table.add_row(thr_row);
       },
-      opts.cold_start);
+      effective_cold_start(opts));
   if (opts.csv) {
     std::cout << "\n## Enqueue latency [ns/op] (lower is better)\n";
     lat_table.print(std::cout, opts.csv);

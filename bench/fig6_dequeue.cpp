@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
     sim::MachineConfig mcfg;
     mcfg.cores = t;
     apply_fault_options(mcfg, opts);
+    apply_machine_options(mcfg, opts);
     WorkloadSpec spec;
     spec.kind = Workload::kConsumerOnly;
     // The queue is pre-filled by `producers` concurrent enqueuers (the
@@ -67,7 +68,7 @@ int main(int argc, char** argv) {
         }
         table.add_row(out);
       },
-      opts.cold_start);
+      effective_cold_start(opts));
   if (opts.csv) {
     std::cout << "\n## Dequeue latency [ns/op] (lower is better)\n";
     table.print(std::cout, opts.csv);

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
     mcfg.cores = total;
     mcfg.sockets = 2;
     apply_fault_options(mcfg, opts);
+    apply_machine_options(mcfg, opts);
     WorkloadSpec spec;
     spec.kind = Workload::kMixed;
     spec.producers = half;
@@ -77,7 +78,7 @@ int main(int argc, char** argv) {
         }
         table.add_row(out);
       },
-      opts.cold_start);
+      effective_cold_start(opts));
   if (opts.csv) {
     std::cout << "\n## Normalized duration [ns/op] (lower is better)\n";
     table.print(std::cout, opts.csv);

@@ -17,6 +17,7 @@
 // The process exits nonzero if any steady phase allocates — this is the
 // regression gate that keeps the simulator's hot path allocation-free
 // end-to-end (`ctest -L perf_smoke`).
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -32,25 +33,30 @@
 #include "simqueue/sim_sbq.hpp"
 
 // ---------------------------------------------------------------------------
-// Global allocation counters. The bench is single-threaded; plain counters
-// suffice. Every form of operator new funnels through count_alloc.
+// Global allocation counters. Relaxed atomics: under --machine-threads > 1
+// the slice workers allocate concurrently (cold phase only, if the gate
+// holds), and the counters are only read between phases. Every form of
+// operator new funnels through count_alloc.
 // ---------------------------------------------------------------------------
 
 namespace {
-std::uint64_t g_alloc_calls = 0;
-std::uint64_t g_alloc_bytes = 0;
+std::atomic<std::uint64_t> g_alloc_calls{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+void count(std::size_t n) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+}
 
 void* count_alloc(std::size_t n) {
-  ++g_alloc_calls;
-  g_alloc_bytes += n;
+  count(n);
   void* p = std::malloc(n == 0 ? 1 : n);
   if (p == nullptr) throw std::bad_alloc();
   return p;
 }
 
 void* count_alloc_aligned(std::size_t n, std::size_t align) {
-  ++g_alloc_calls;
-  g_alloc_bytes += n;
+  count(n);
   const std::size_t rounded = (n + align - 1) / align * align;
   void* p = std::aligned_alloc(align, rounded == 0 ? align : rounded);
   if (p == nullptr) throw std::bad_alloc();
@@ -67,13 +73,11 @@ void* operator new[](std::size_t n, std::align_val_t a) {
   return count_alloc_aligned(n, static_cast<std::size_t>(a));
 }
 void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
-  ++g_alloc_calls;
-  g_alloc_bytes += n;
+  count(n);
   return std::malloc(n == 0 ? 1 : n);
 }
 void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
-  ++g_alloc_calls;
-  g_alloc_bytes += n;
+  count(n);
   return std::malloc(n == 0 ? 1 : n);
 }
 void operator delete(void* p) noexcept { std::free(p); }
@@ -150,25 +154,29 @@ struct PhaseResult {
 PhaseResult run_phase(sim::Machine& m, simq::SimSbq& q, int producers,
                       simq::Value ops, std::uint64_t seed) {
   Accum acc;
-  const std::uint64_t events_before = m.engine().events_processed();
-  const std::uint64_t allocs_before = g_alloc_calls;
-  const std::uint64_t bytes_before = g_alloc_bytes;
+  const std::uint64_t events_before = m.events_processed();
+  const std::uint64_t allocs_before = g_alloc_calls.load();
+  const std::uint64_t bytes_before = g_alloc_bytes.load();
   const auto t0 = std::chrono::steady_clock::now();
+  // Pin each root to the core it runs on: a sharded machine needs the
+  // owning slice up front, and on a serial machine the pin is a no-op.
   for (int p = 0; p < producers; ++p) {
     m.spawn(producer(m, q, p, p, ops,
-                     seed * 1000003 + static_cast<std::uint64_t>(p), &acc));
+                     seed * 1000003 + static_cast<std::uint64_t>(p), &acc),
+            static_cast<sim::CoreId>(p));
   }
   for (int ci = 0; ci < producers; ++ci) {
     m.spawn(consumer(m, q, producers + ci, ci, ops,
-                     seed * 2000003 + static_cast<std::uint64_t>(ci), &acc));
+                     seed * 2000003 + static_cast<std::uint64_t>(ci), &acc),
+            static_cast<sim::CoreId>(producers + ci));
   }
   m.run();
   const auto t1 = std::chrono::steady_clock::now();
   PhaseResult r;
-  r.events = m.engine().events_processed() - events_before;
+  r.events = m.events_processed() - events_before;
   r.ops = acc.enq + acc.deq;
-  r.allocs = g_alloc_calls - allocs_before;
-  r.bytes = g_alloc_bytes - bytes_before;
+  r.allocs = g_alloc_calls.load() - allocs_before;
+  r.bytes = g_alloc_bytes.load() - bytes_before;
   const double secs = std::chrono::duration<double>(t1 - t0).count();
   r.events_per_sec = secs > 0 ? static_cast<double>(r.events) / secs : 0;
   return r;
@@ -194,6 +202,26 @@ int main(int argc, char** argv) {
   // bookkeeping (filled_) grows with every basket — the gate measures the
   // simulator proper, so stats stay off.
   mcfg.collect_stats = false;
+  // --machine-threads > 1 points the same gate at the sliced path: the
+  // per-slice engines, cross-slice channel buffers, and the window-merge
+  // scratch must be equally allocation-free once warm
+  // (perf_sim_alloc_gate_sharded in bench/CMakeLists.txt).
+  if (opts.machine_threads > 1) {
+    mcfg.sockets = opts.sockets > 0 ? opts.sockets : 2;
+    mcfg.dir_slices =
+        opts.dir_slices > 0 ? opts.dir_slices : opts.machine_threads;
+    mcfg.machine_threads = opts.machine_threads;
+    mcfg.alloc_arenas = true;
+    // Steady phases are seeded differently from the cold phase, so their
+    // live-coroutine high-water can exceed what cold warmed up; prewarm
+    // the frame pools past any plausible depth for this workload size.
+    mcfg.prewarm_frames =
+        static_cast<std::size_t>(4 * mcfg.cores) + 32;
+    report.set_config("machine_threads", Json(static_cast<std::uint64_t>(
+                                             opts.machine_threads)));
+    report.set_config(
+        "dir_slices", Json(static_cast<std::uint64_t>(mcfg.dir_slices)));
+  }
 
   sim::Machine m(mcfg);
   simq::SimSbq::Config qcfg;

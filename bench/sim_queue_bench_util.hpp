@@ -103,6 +103,37 @@ inline void apply_fault_options(sim::MachineConfig& mcfg,
   }
 }
 
+// Map the shared --machine-threads/--dir-slices/--sockets options onto a
+// machine config (docs/architecture.md "Parallel machine"). Defaults leave
+// the config untouched, so default invocations keep the classic serial
+// engine and its byte-identical goldens. When sharding is requested the
+// slice count defaults to the worker count (the finest legal slicing under
+// kFlat; kLink requires slices == sockets, so derive that instead), and
+// per-core allocation arenas switch on — also for the serial twin
+// (--dir-slices N with --machine-threads 1), which is therefore the exact
+// comparison baseline for a sharded run.
+inline void apply_machine_options(sim::MachineConfig& mcfg,
+                                  const BenchOptions& opts) {
+  if (opts.sockets > 0) mcfg.sockets = opts.sockets;
+  int slices = opts.dir_slices;
+  if (slices == 0) {
+    if (opts.machine_threads <= 1) return;
+    slices = mcfg.interconnect_model == sim::InterconnectModel::kLink
+                 ? mcfg.sockets
+                 : opts.machine_threads;
+  }
+  mcfg.dir_slices = std::min(slices, mcfg.cores);
+  mcfg.machine_threads = opts.machine_threads;
+  mcfg.alloc_arenas = mcfg.dir_slices > 1;
+}
+
+// Snapshots (and thus the shared-warm-snapshot fork path) are refused by
+// sharded machines, so sweeps must cold-start every cell under
+// --machine-threads > 1.
+inline bool effective_cold_start(const BenchOptions& opts) {
+  return opts.cold_start || opts.machine_threads > 1;
+}
+
 enum class Workload { kProducerOnly, kConsumerOnly, kMixed };
 
 struct WorkloadSpec {
@@ -426,6 +457,10 @@ inline bool write_traced_cell(const std::string& path, QueueKind kind,
                               const WorkloadSpec& spec) {
   if (path.empty()) return true;
   mcfg.record_trace = true;
+  // Tracing needs the single global event order only the serial engine
+  // produces (the sharded ctor refuses record_trace); the traced re-run is
+  // a one-off outside the sweep, so dropping to one machine thread is free.
+  mcfg.machine_threads = 1;
   bool ok = false;
   run_queue_workload(kind, mcfg, spec, [&](sim::Machine& m) {
     std::ofstream out(path);

@@ -52,11 +52,23 @@ def sim_config():
                            src).group(1) == "true"
     faults = re.search(r"bool enabled\s*=\s*(true|false)",
                        src).group(1) == "true"
+    machine_threads = int(re.search(r"machine_threads\s*=\s*(\d+)",
+                                    src).group(1))
     return {"interconnect_model": model,
             "link_occupancy": occupancy,
             "inv_order": "canonical" if canonical else "legacy",
             "check_invariants": invariants,
-            "fault_injection_default": faults}
+            "fault_injection_default": faults,
+            "machine_threads": machine_threads}
+
+def run_checked(cmd):
+    # A driver that dies mid-baseline must fail the whole capture loudly,
+    # naming the culprit — a partial BENCH_sim.json is worse than none.
+    r = subprocess.run(cmd, stdout=subprocess.DEVNULL)
+    if r.returncode != 0:
+        sys.exit("bench_baseline: driver %s exited with status %d (args: %s)"
+                 % (os.path.basename(cmd[0]), r.returncode,
+                    " ".join(cmd[1:])))
 FIG_ARGS = ["--threads", "2,4,8,16,32", "--ops", "100", "--repeats", "2",
             "--jobs", "1"]
 # ablation_fault_sweep rides along: its fault-injected cells stress the
@@ -69,18 +81,38 @@ def run_timed(drv):
     samples = []
     for _ in range(runs):
         t0 = time.monotonic()
-        subprocess.run([exe, *FIG_ARGS], check=True,
-                       stdout=subprocess.DEVNULL)
+        run_checked([exe, *FIG_ARGS])
         samples.append(round(time.monotonic() - t0, 3))
     return {"args": " ".join(FIG_ARGS), "runs_s": samples,
             "best_s": min(samples)}
+
+# Sharded-machine headline: one 512-core fig5-style cell (2 sockets, 4
+# directory slices), serial vs --machine-threads 4. The serial leg passes
+# the same --dir-slices/--sockets flags so both legs simulate the *same*
+# machine — the wall-clock ratio isolates the parallel engine.
+SHARD_ARGS = ["--threads", "512", "--ops", "20", "--sockets", "2",
+              "--dir-slices", "4", "--repeats", "1", "--jobs", "1"]
+
+def run_shard_sweep():
+    exe = os.path.join(build, "bench", "fig5_enqueue")
+    legs = {}
+    for name, extra in (("serial", []), ("mt4", ["--machine-threads", "4"])):
+        samples = []
+        for _ in range(runs):
+            t0 = time.monotonic()
+            run_checked([exe, *SHARD_ARGS, *extra])
+            samples.append(round(time.monotonic() - t0, 3))
+        legs[name] = {"args": " ".join(SHARD_ARGS + extra),
+                      "runs_s": samples, "best_s": min(samples)}
+    legs["speedup_mt4_vs_serial"] = round(
+        legs["serial"]["best_s"] / legs["mt4"]["best_s"], 2)
+    return legs
 
 def run_micro(drv, args):
     exe = os.path.join(build, "bench", drv)
     with tempfile.NamedTemporaryFile(suffix=".json") as f:
         # A nonzero exit IS the gate: a steady phase allocated.
-        subprocess.run([exe, *args, "--json", f.name], check=True,
-                       stdout=subprocess.DEVNULL)
+        run_checked([exe, *args, "--json", f.name])
         cells = json.load(open(f.name))["cells"]
     steady = [c for c in cells if str(c.get("phase", "")).startswith("steady")]
     out = {"args": " ".join(args),
@@ -97,6 +129,7 @@ report = {
                 "cpus": os.cpu_count()},
     "sim_config": sim_config(),
     "figures": {d: run_timed(d) for d in FIGS},
+    "sharded_fig5_512c": run_shard_sweep(),
     "microbench": {
         "engine_microbench": run_micro(
             "engine_microbench", ["--ops", "200000", "--repeats", "2"]),

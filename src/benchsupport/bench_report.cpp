@@ -42,6 +42,11 @@ void BenchReport::set_sweep_config(const BenchOptions& opts,
   Json jt = Json::array();
   for (int t : threads) jt.push_back(Json(t));
   config_.set("threads", std::move(jt));
+  // Only recorded when the sharded machine is in play, so default artifacts
+  // stay byte-identical to pre-sharding baselines.
+  if (opts.machine_threads > 1) {
+    config_.set("machine_threads", Json(opts.machine_threads));
+  }
 }
 
 void BenchReport::add_table(const std::string& name, const Table& t) {

@@ -77,6 +77,27 @@ inline Json metrics_to_json(const sim::MetricsSnapshot& m) {
     faults.set("jitter_cycles", Json(m.faults.jitter_cycles));
     out.set("faults", std::move(faults));
   }
+  // Sharded-machine block: only present when the run actually used worker
+  // threads, so serial artifacts (and the goldens) stay byte-identical.
+  if (m.machine_threads > 1) {
+    Json parallel = Json::object();
+    parallel.set("machine_threads",
+                 Json(static_cast<std::uint64_t>(m.machine_threads)));
+    Json per_slice = Json::array();
+    for (std::uint64_t e : m.per_slice_events) per_slice.push_back(Json(e));
+    parallel.set("per_slice_events", std::move(per_slice));
+    out.set("parallel", std::move(parallel));
+  }
+  // Backpressure accounting: gated on the config caps, like the fault
+  // block, so default runs serialize exactly as before.
+  if (m.backpressure) {
+    Json bp = Json::object();
+    bp.set("link_bp_stalls", Json(m.link_bp_stalls));
+    bp.set("link_queue_peak", Json(m.link_queue_peak));
+    bp.set("dir_bp_stalls", Json(m.dir_bp_stalls));
+    bp.set("dir_queue_peak", Json(m.dir_queue_peak));
+    out.set("backpressure", std::move(bp));
+  }
   return out;
 }
 

@@ -8,6 +8,7 @@
 // deterministic per-op think-time jitter avoids artificial lockstep.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -43,24 +44,44 @@ struct SimRunResult {
 
 namespace detail {
 
+// Latency sums are kept as integer cycle counts in relaxed atomics so that
+// sharded runs (threads on different worker threads) accumulate without
+// races AND without order-dependence — integer addition commutes, unlike
+// floating-point. The totals stay far below 2^53, so the final
+// double(cycle_sum) equals the value the old sequential double
+// accumulation produced — serial artifacts stay byte-identical.
 struct Accum {
-  double enq_lat = 0, deq_lat = 0;
-  std::uint64_t enq = 0, deq = 0;
+  std::atomic<std::uint64_t> enq_lat_cycles{0}, deq_lat_cycles{0};
+  std::atomic<std::uint64_t> enq{0}, deq{0};
+
+  double enq_lat() const {
+    return static_cast<double>(enq_lat_cycles.load(std::memory_order_relaxed));
+  }
+  double deq_lat() const {
+    return static_cast<double>(deq_lat_cycles.load(std::memory_order_relaxed));
+  }
+  std::uint64_t enq_count() const {
+    return enq.load(std::memory_order_relaxed);
+  }
+  std::uint64_t deq_count() const {
+    return deq.load(std::memory_order_relaxed);
+  }
 };
 
 template <typename QueueT>
 Task<void> producer_thread(Machine& m, QueueT& q, int core, int id,
                            Value ops, std::uint64_t seed,
                            std::shared_ptr<Accum> acc) {
+  (void)m;
   Xoshiro256 rng(seed);
   Core& c = m.core(core);
   co_await c.think(1 + rng.next_below(32));
   for (Value i = 0; i < ops; ++i) {
-    const Time start = m.engine().now();
+    const Time start = c.now();  // slice-local clock: valid under sharding
     co_await q.enqueue(c, kFirstElement + (static_cast<Value>(id) << 32 | i),
                        id);
-    acc->enq_lat += static_cast<double>(m.engine().now() - start);
-    ++acc->enq;
+    acc->enq_lat_cycles.fetch_add(c.now() - start, std::memory_order_relaxed);
+    acc->enq.fetch_add(1, std::memory_order_relaxed);
     co_await c.think(1 + rng.next_below(8));
   }
 }
@@ -68,16 +89,17 @@ Task<void> producer_thread(Machine& m, QueueT& q, int core, int id,
 template <typename QueueT>
 Task<void> consumer_thread(Machine& m, QueueT& q, int core, int id, Value ops,
                            std::uint64_t seed, std::shared_ptr<Accum> acc) {
+  (void)m;
   Xoshiro256 rng(seed);
   Core& c = m.core(core);
   co_await c.think(1 + rng.next_below(32));
   Value got = 0;
   while (got < ops) {
-    const Time start = m.engine().now();
+    const Time start = c.now();
     const Value e = co_await q.dequeue(c, id);
     if (e != 0) {
-      acc->deq_lat += static_cast<double>(m.engine().now() - start);
-      ++acc->deq;
+      acc->deq_lat_cycles.fetch_add(c.now() - start, std::memory_order_relaxed);
+      acc->deq.fetch_add(1, std::memory_order_relaxed);
       ++got;
     } else {
       co_await c.think(64);  // transiently empty; back off briefly
@@ -107,8 +129,9 @@ void run_prefill(Machine& m, QueueT& q, int producers, Value per_producer,
   auto fill_acc = std::make_shared<detail::Accum>();
   for (int p = 0; p < producers; ++p) {
     m.spawn(detail::producer_thread(
-        m, q, p, p, per_producer,
-        prefill_seed * 7 + static_cast<std::uint64_t>(p), fill_acc));
+                m, q, p, p, per_producer,
+                prefill_seed * 7 + static_cast<std::uint64_t>(p), fill_acc),
+            p);
   }
   m.run();  // un-measured fill phase
 }
@@ -138,17 +161,19 @@ template <typename QueueT>
 SimRunResult run_producer_only(Machine& m, QueueT& q, int producers,
                                Value ops_per_thread, std::uint64_t seed = 1) {
   auto acc = std::make_shared<detail::Accum>();
-  const Time start = m.engine().now();
+  const Time start = m.now();
   for (int p = 0; p < producers; ++p) {
     m.spawn(detail::producer_thread(m, q, p, p, ops_per_thread,
                                     seed * 1000003 + static_cast<std::uint64_t>(p),
-                                    acc));
+                                    acc),
+            p);
   }
   m.run();
   SimRunResult r;
-  r.enq_ops = acc->enq;
-  r.enq_latency_cycles = acc->enq ? acc->enq_lat / static_cast<double>(acc->enq) : 0;
-  r.duration_cycles = static_cast<double>(m.engine().now() - start);
+  r.enq_ops = acc->enq_count();
+  r.enq_latency_cycles =
+      r.enq_ops ? acc->enq_lat() / static_cast<double>(r.enq_ops) : 0;
+  r.duration_cycles = static_cast<double>(m.now() - start);
   r.metrics = m.metrics();
   return r;
 }
@@ -163,18 +188,20 @@ SimRunResult measure_consumer_only(Machine& m, QueueT& q, int consumers,
                                    Value ops_per_thread, std::uint64_t seed,
                                    int consumer_id_offset) {
   auto acc = std::make_shared<detail::Accum>();
-  const Time start = m.engine().now();
+  const Time start = m.now();
   for (int ci = 0; ci < consumers; ++ci) {
     m.spawn(detail::consumer_thread(m, q, ci, consumer_id_offset + ci,
                                     ops_per_thread,
                                     seed * 2000003 + static_cast<std::uint64_t>(ci),
-                                    acc));
+                                    acc),
+            ci);
   }
   m.run();
   SimRunResult r;
-  r.deq_ops = acc->deq;
-  r.deq_latency_cycles = acc->deq ? acc->deq_lat / static_cast<double>(acc->deq) : 0;
-  r.duration_cycles = static_cast<double>(m.engine().now() - start);
+  r.deq_ops = acc->deq_count();
+  r.deq_latency_cycles =
+      r.deq_ops ? acc->deq_lat() / static_cast<double>(r.deq_ops) : 0;
+  r.duration_cycles = static_cast<double>(m.now() - start);
   r.metrics = m.metrics();
   return r;
 }
@@ -187,25 +214,29 @@ SimRunResult measure_mixed(Machine& m, QueueT& q, int producers, int consumers,
                            int consumer_id_offset) {
   auto acc = std::make_shared<detail::Accum>();
   const int consumer_core0 = m.core_count() / 2;
-  const Time start = m.engine().now();
+  const Time start = m.now();
   for (int p = 0; p < producers; ++p) {
     m.spawn(detail::producer_thread(m, q, p, p, ops_per_thread,
                                     seed * 1000003 + static_cast<std::uint64_t>(p),
-                                    acc));
+                                    acc),
+            p);
   }
   for (int ci = 0; ci < consumers; ++ci) {
     m.spawn(detail::consumer_thread(m, q, consumer_core0 + ci,
                                     consumer_id_offset + ci, ops_per_thread,
                                     seed * 2000003 + static_cast<std::uint64_t>(ci),
-                                    acc));
+                                    acc),
+            consumer_core0 + ci);
   }
   m.run();
   SimRunResult r;
-  r.enq_ops = acc->enq;
-  r.deq_ops = acc->deq;
-  r.enq_latency_cycles = acc->enq ? acc->enq_lat / static_cast<double>(acc->enq) : 0;
-  r.deq_latency_cycles = acc->deq ? acc->deq_lat / static_cast<double>(acc->deq) : 0;
-  r.duration_cycles = static_cast<double>(m.engine().now() - start);
+  r.enq_ops = acc->enq_count();
+  r.deq_ops = acc->deq_count();
+  r.enq_latency_cycles =
+      r.enq_ops ? acc->enq_lat() / static_cast<double>(r.enq_ops) : 0;
+  r.deq_latency_cycles =
+      r.deq_ops ? acc->deq_lat() / static_cast<double>(r.deq_ops) : 0;
+  r.duration_cycles = static_cast<double>(m.now() - start);
   r.metrics = m.metrics();
   return r;
 }

@@ -132,6 +132,21 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
       opts.fault_seed = std::strtoull(next_value(), nullptr, 10);
     } else if (std::strcmp(a, "--fault-jitter") == 0) {
       opts.fault_jitter = std::strtoull(next_value(), nullptr, 10);
+    } else if (std::strcmp(a, "--machine-threads") == 0) {
+      opts.machine_threads = static_cast<int>(std::strtol(next_value(), nullptr, 10));
+      if (opts.machine_threads < 1) {
+        throw std::invalid_argument("--machine-threads needs a positive count");
+      }
+    } else if (std::strcmp(a, "--dir-slices") == 0) {
+      opts.dir_slices = static_cast<int>(std::strtol(next_value(), nullptr, 10));
+      if (opts.dir_slices < 0) {
+        throw std::invalid_argument("--dir-slices needs a non-negative count");
+      }
+    } else if (std::strcmp(a, "--sockets") == 0) {
+      opts.sockets = static_cast<int>(std::strtol(next_value(), nullptr, 10));
+      if (opts.sockets < 0) {
+        throw std::invalid_argument("--sockets needs a non-negative count");
+      }
     } else if (std::strcmp(a, "--threads") == 0) {
       const char* list = next_value();
       std::stringstream ss(list);

@@ -92,7 +92,7 @@ void Core::issue_request(Addr a, bool want_m, ContFn cont) {
   p.want_m = want_m;
   p.on_complete = std::move(cont);
   Message req{want_m ? MsgType::kGetM : MsgType::kGetS, a, id_, id_, 0, 0};
-  net_.send(id_, dir_, req);
+  net_.send(id_, dir_node(a), req);
 }
 
 void Core::finish_request(Addr a) {

@@ -7,9 +7,9 @@
 namespace sbq::sim {
 
 Directory::Directory(Engine& engine, Interconnect& net, const MachineConfig& cfg,
-                     Trace* trace)
+                     Trace* trace, CoreId self)
     : engine_(engine), net_(net), cfg_(cfg), trace_(trace),
-      self_(net.directory_id()) {}
+      self_(self >= 0 ? self : net.directory_id()) {}
 
 Value Directory::peek(Addr addr) const {
   auto it = lines_.find(addr);
@@ -63,6 +63,15 @@ void Directory::drop_sharer(Line& line, Addr addr, CoreId id) {
 
 void Directory::handle(const Message& msg) {
   // Model a per-request occupancy: simultaneous arrivals serialize a bit.
+  if (cfg_.dir_queue_cap > 0) {
+    // Bandwidth model: the backlog on the occupancy horizon, in requests.
+    const Time now = engine_.now();
+    const Time backlog = busy_until_ > now ? busy_until_ - now : 0;
+    const std::uint64_t depth =
+        (backlog + cfg_.dir_occupancy - 1) / cfg_.dir_occupancy;
+    if (depth >= cfg_.dir_queue_cap) ++stats_.bp_stalls;
+    if (depth + 1 > stats_.queue_peak) stats_.queue_peak = depth + 1;
+  }
   const Time start = std::max(engine_.now(), busy_until_);
   busy_until_ = start + cfg_.dir_occupancy;
   const Time wait = start - engine_.now() + cfg_.dir_occupancy;

@@ -43,8 +43,12 @@ class Trace;
 
 class Directory {
  public:
+  // `self` is this directory's node id on the interconnect; -1 (the
+  // default) means net.directory_id(), i.e. the single-directory layout.
+  // A sliced machine constructs one Directory per slice with self =
+  // directory_id() + slice.
   Directory(Engine& engine, Interconnect& net, const MachineConfig& cfg,
-            Trace* trace);
+            Trace* trace, CoreId self = -1);
 
   // Entry point registered with the interconnect.
   void handle(const Message& msg);
@@ -67,6 +71,12 @@ class Directory {
     std::uint64_t fwd_getm = 0;
     std::uint64_t wb_accepted = 0;  // owner write-back flipped the line O->S
     std::uint64_t wb_dropped = 0;   // stale write-back (a writer intervened)
+    // Bandwidth/saturation accounting (dir_queue_cap > 0 only): requests
+    // that arrived with >= cap requests already queued on the occupancy
+    // horizon, and the deepest request queue observed. Accounting only —
+    // processing times are unchanged.
+    std::uint64_t bp_stalls = 0;
+    std::uint64_t queue_peak = 0;
   };
   const Stats& stats() const noexcept { return stats_; }
 

@@ -25,7 +25,9 @@ const char* msg_type_name(MsgType t) noexcept {
 Interconnect::Interconnect(Engine& engine, const MachineConfig& cfg,
                            Trace* trace, DebugRing* debug_ring)
     : engine_(engine), cfg_(cfg), trace_(trace), debug_ring_(debug_ring),
-      handlers_(cfg.cores + 1) {
+      handlers_(static_cast<std::size_t>(cfg.cores) +
+                static_cast<std::size_t>(cfg.dir_slices > 1 ? cfg.dir_slices
+                                                            : 1)) {
   if (cfg_.interconnect_model == InterconnectModel::kLink) {
     links_.resize(static_cast<std::size_t>(cfg_.sockets) *
                   static_cast<std::size_t>(cfg_.sockets));
@@ -38,19 +40,27 @@ Interconnect::Interconnect(Engine& engine, const MachineConfig& cfg,
     jitter_threshold_ =
         r >= 1.0 ? 0xffffffffu
                  : static_cast<std::uint32_t>(r <= 0.0 ? 0 : r * 4294967296.0);
-    const auto nodes = static_cast<std::size_t>(cfg_.cores) + 1;
+    const auto nodes = handlers_.size();
     last_arrival_.assign(nodes * nodes, 0);
   }
 }
 
 void Interconnect::set_handler(CoreId node, MessageHandlerFn handler) {
-  assert(node >= 0 && node <= cfg_.cores);
+  assert(node >= 0 && static_cast<std::size_t>(node) < handlers_.size());
   handlers_[static_cast<std::size_t>(node)] = std::move(handler);
 }
 
 int Interconnect::socket_of(CoreId node) const noexcept {
-  if (node >= cfg_.cores) return 0;  // directory/LLC homed on socket 0
   const int per_socket = (cfg_.cores + cfg_.sockets - 1) / cfg_.sockets;
+  if (node >= cfg_.cores) {
+    // Directory slice s is homed on the socket of the first core it is
+    // co-located with (slice 0 => socket 0, matching the single-directory
+    // layout when dir_slices == 1).
+    const int slices = cfg_.dir_slices > 1 ? cfg_.dir_slices : 1;
+    const int cps = (cfg_.cores + slices - 1) / slices;
+    const int first = std::min((node - cfg_.cores) * cps, cfg_.cores - 1);
+    return first / per_socket;
+  }
   return node / per_socket;
 }
 
@@ -70,8 +80,6 @@ void Interconnect::send(CoreId src, CoreId dst, Message msg) {
                        std::to_string(dst),
                    msg.addr, msg.requester);
   }
-  auto& handler = handlers_[static_cast<std::size_t>(dst)];
-  assert(handler);
   Time delay;
   const int ss = socket_of(src);
   const int ds = socket_of(dst);
@@ -81,6 +89,16 @@ void Interconnect::send(CoreId src, CoreId dst, Message msg) {
     // monotonically per link is exactly a FIFO queue of earlier senders.
     Link& l = link(ss, ds);
     const Time now = engine_.now();
+    if (cfg_.link_queue_cap > 0) {
+      // Saturation accounting only: a FIFO cap cannot change arrival times
+      // under busy_until modeling, so counting keeps the schedule (and the
+      // goldens) intact.
+      const Time backlog = l.busy_until > now ? l.busy_until - now : 0;
+      const std::uint64_t depth =
+          (backlog + cfg_.link_occupancy - 1) / cfg_.link_occupancy;
+      if (depth >= cfg_.link_queue_cap) ++link_bp_stalls_;
+      if (depth + 1 > link_queue_peak_) link_queue_peak_ = depth + 1;
+    }
     const Time depart = std::max(now, l.busy_until);
     l.busy_until = depart + cfg_.link_occupancy;
     const Time wait = depart - now;
@@ -104,7 +122,7 @@ void Interconnect::send(CoreId src, CoreId dst, Message msg) {
       ++jittered_msgs_;
       jitter_cycles_ += extra;
     }
-    const auto nodes = static_cast<std::size_t>(cfg_.cores) + 1;
+    const auto nodes = handlers_.size();
     Time& last = last_arrival_[static_cast<std::size_t>(src) * nodes +
                               static_cast<std::size_t>(dst)];
     const Time now = engine_.now();
@@ -119,6 +137,16 @@ void Interconnect::send(CoreId src, CoreId dst, Message msg) {
   if (debug_ring_ != nullptr) {
     debug_ring_->record(engine_.now(), src, dst, msg.type, msg.addr, msg.value);
   }
+  if (node_slice_ != nullptr && node_slice_[dst] != my_slice_) {
+    // Cross-slice: buffer as a time-stamped channel send; the Machine
+    // forwards it into the destination slice at the merge barrier, with
+    // the merged seq deciding equal-time ordering exactly as in serial.
+    engine_.log_channel(channel_.size());
+    channel_.push_back({dst, msg, engine_.now() + delay});
+    return;
+  }
+  auto& handler = handlers_[static_cast<std::size_t>(dst)];
+  assert(handler);
   engine_.schedule(delay, [&handler, msg] { handler(msg); });
 }
 
@@ -127,6 +155,8 @@ Interconnect::State Interconnect::save_state() const {
   s.sent = sent_;
   s.link_msgs = link_msgs_;
   s.link_wait_cycles = link_wait_cycles_;
+  s.link_bp_stalls = link_bp_stalls_;
+  s.link_queue_peak = link_queue_peak_;
   s.link_busy_until.reserve(links_.size());
   for (const Link& l : links_) s.link_busy_until.push_back(l.busy_until);
   s.jitter_rng_state = jitter_rng_state_;
@@ -144,6 +174,8 @@ void Interconnect::restore_state(const State& s) {
   sent_ = s.sent;
   link_msgs_ = s.link_msgs;
   link_wait_cycles_ = s.link_wait_cycles;
+  link_bp_stalls_ = s.link_bp_stalls;
+  link_queue_peak_ = s.link_queue_peak;
   for (std::size_t i = 0; i < links_.size(); ++i) {
     links_[i].busy_until = s.link_busy_until[i];
   }

@@ -52,8 +52,31 @@ class Interconnect {
                DebugRing* debug_ring = nullptr);
 
   void set_handler(CoreId node, MessageHandlerFn handler);
+  // Registered delivery handler for `node` (stable address for the machine
+  // to capture in cross-slice delivery closures).
+  MessageHandlerFn* handler(CoreId node) noexcept {
+    return &handlers_[static_cast<std::size_t>(node)];
+  }
 
   void send(CoreId src, CoreId dst, Message msg);
+
+  // Sharded machine: this interconnect instance belongs to slice
+  // `my_slice`; `node_slice` maps every node id (cores + directory slices)
+  // to its owning slice. A send whose destination lives on another slice
+  // is computed (delay, link accounting) as usual but buffered in
+  // channel() instead of scheduled; the Machine forwards it at the next
+  // merge barrier with its merged seq.
+  void enable_sharding(int my_slice, const int* node_slice) noexcept {
+    my_slice_ = my_slice;
+    node_slice_ = node_slice;
+    channel_.reserve(std::size_t{1} << 10);
+  }
+  struct ChannelEntry {
+    CoreId dst = -1;
+    Message msg;
+    Time arrival = 0;
+  };
+  std::vector<ChannelEntry>& channel() noexcept { return channel_; }
 
   int socket_of(CoreId node) const noexcept;
   // Uncontended hop cost (the full kLink delay additionally depends on the
@@ -67,6 +90,10 @@ class Interconnect {
   // under kFlat).
   std::uint64_t link_messages() const noexcept { return link_msgs_; }
   std::uint64_t link_wait_cycles() const noexcept { return link_wait_cycles_; }
+  // Backpressure accounting (link_queue_cap > 0 only): sends that found
+  // >= cap messages queued on their link, and the deepest queue observed.
+  std::uint64_t link_bp_stalls() const noexcept { return link_bp_stalls_; }
+  std::uint64_t link_queue_peak() const noexcept { return link_queue_peak_; }
   // Fault-plan message jitter (zero unless fault_plan.jitter_active()).
   std::uint64_t jittered_messages() const noexcept { return jittered_msgs_; }
   std::uint64_t jitter_cycles() const noexcept { return jitter_cycles_; }
@@ -78,6 +105,8 @@ class Interconnect {
     std::uint64_t sent = 0;
     std::uint64_t link_msgs = 0;
     std::uint64_t link_wait_cycles = 0;
+    std::uint64_t link_bp_stalls = 0;
+    std::uint64_t link_queue_peak = 0;
     std::vector<Time> link_busy_until;  // row-major [src_socket][dst_socket]
     // Jitter machinery (empty/zero unless jitter is active).
     std::uint64_t jitter_rng_state = 0;
@@ -110,6 +139,12 @@ class Interconnect {
   std::uint64_t sent_ = 0;
   std::uint64_t link_msgs_ = 0;
   std::uint64_t link_wait_cycles_ = 0;
+  std::uint64_t link_bp_stalls_ = 0;
+  std::uint64_t link_queue_peak_ = 0;
+  // Sharding (null/-1 on a serial machine).
+  int my_slice_ = -1;
+  const int* node_slice_ = nullptr;
+  std::vector<ChannelEntry> channel_;
   // Bounded message-latency jitter (fault_plan.jitter_active() only).
   // Jitter only ever *adds* delay, and every send clamps its arrival to
   // the pair's previous arrival, so the protocol's per-(src,dst) FIFO

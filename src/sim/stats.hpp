@@ -149,6 +149,18 @@ struct MetricsSnapshot {
   // runs serialize exactly as before (golden byte-identity).
   bool fault_injection = false;
   FaultCounters faults;
+  // Parallel (sharded) machine: worker-thread count and per-slice engine
+  // event totals. machine_threads stays 1 (and per_slice_events empty) on
+  // a serial machine, gating the extra JSON fields.
+  int machine_threads = 1;
+  std::vector<std::uint64_t> per_slice_events;
+  // Backpressure accounting (config-gated on the queue caps; all zero and
+  // unserialized when both caps are 0).
+  bool backpressure = false;
+  std::uint64_t link_bp_stalls = 0;
+  std::uint64_t link_queue_peak = 0;
+  std::uint64_t dir_bp_stalls = 0;
+  std::uint64_t dir_queue_peak = 0;
 };
 
 class Stats {

@@ -134,6 +134,37 @@ struct MachineConfig {
   // ring to stderr and throws std::logic_error instead of silently
   // simulating on corrupt state.
   bool check_invariants = false;
+  // --- Sharded (parallel) machine -------------------------------------
+  // The directory is split into `dir_slices` independent slices; a line
+  // with address A is homed on slice A % dir_slices. With dir_slices > 1
+  // the machine can additionally run each slice (its cores, their private
+  // caches, the slice's directory and timing-wheel engine) on a worker
+  // thread: `machine_threads` > 1 enables the conservative-lookahead
+  // parallel run loop (docs/architecture.md "Parallel machine"). Results
+  // are deterministic and identical to a serial run of the same config;
+  // the defaults keep every golden byte-identical.
+  int dir_slices = 1;
+  int machine_threads = 1;
+  // Deterministic per-core allocation arenas: Machine::alloc(words, core)
+  // carves from a fixed 2^30-word region per core instead of the shared
+  // bump cursor, so mid-run allocations get schedule-independent
+  // addresses. Required (and enabled by the drivers) whenever
+  // dir_slices > 1 so the serial twin and the sharded run allocate the
+  // same addresses.
+  bool alloc_arenas = false;
+  // Pre-fill the coroutine FramePool of every engine-driving thread (the
+  // constructing thread and, when sharded, each pool worker) with this many
+  // free frames per size class. 0 (default) skips the prewarm; the
+  // allocation-gate benches set it so a steady phase whose live-frame
+  // high-water exceeds the cold phase's never hits the heap.
+  std::size_t prewarm_frames = 0;
+  // Saturation accounting (backpressure): when > 0, the interconnect's
+  // per-link occupancy queues and the per-slice directory count how often
+  // a message arrives while `cap` messages are already queued ahead of it
+  // (a stall) and track the peak queue depth. Accounting only — arrival
+  // times are unchanged, so any cap is golden-safe.
+  std::uint64_t link_queue_cap = 0;
+  std::uint64_t dir_queue_cap = 0;
 };
 
 // TxCAS tuning (§4.1, §4.2). Cycle values assume 0.4 ns/cycle, so the

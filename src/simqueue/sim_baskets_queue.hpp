@@ -29,8 +29,8 @@ class SimBasketsQueue {
   SimBasketsQueue(Machine& m, Config cfg) : machine_(&m), cfg_(cfg) {
     queue_ = m.alloc(2);
     const Addr sentinel = m.alloc(2);
-    m.directory().poke(head_addr(), sentinel);
-    m.directory().poke(tail_addr(), sentinel);
+    m.poke(head_addr(), sentinel);
+    m.poke(tail_addr(), sentinel);
   }
 
   // Re-point at a forked machine (see SimSbq::rebind).
@@ -47,13 +47,22 @@ class SimBasketsQueue {
 
   Task<void> enqueue(Core& c, Value element, int /*id*/) {
     assert(element >= kFirstElement && element < kDeletedBit);
-    const Addr node = machine_->alloc(2);
+    const Addr node = machine_->alloc(2, c.id());
     co_await c.store(node_value(node), element);
+    // A failed basket attempt leaves node.next pointing back into the list
+    // (the succ_w stored before the lost CAS). The original algorithm's E7
+    // resets nd->next to NULL before every tail-append attempt; without it
+    // a later *winning* append would link a backward edge — a cycle.
+    bool next_dirty = false;
     for (;;) {
       const Addr tail = co_await c.load(tail_addr());
       const Value next_w = co_await c.load(node_next(tail));
       if (tail != co_await c.load(tail_addr())) continue;
       if (ptr(next_w) == 0 && !deleted(next_w)) {
+        if (next_dirty) {
+          co_await c.store(node_next(node), 0);
+          next_dirty = false;
+        }
         if (co_await c.cas(node_next(tail), next_w, node) != 0) {
           co_await c.cas(tail_addr(), tail, node);
           co_return;
@@ -64,6 +73,7 @@ class SimBasketsQueue {
           const Value succ_w = co_await c.load(node_next(tail));
           if (deleted(succ_w) || tail != co_await c.load(tail_addr())) break;
           co_await c.store(node_next(node), succ_w);
+          next_dirty = true;
           if (co_await c.cas(node_next(tail), succ_w, node) != 0) co_return;
         }
       } else {

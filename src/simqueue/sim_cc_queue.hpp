@@ -29,11 +29,11 @@ class SimCcQueue {
   SimCcQueue(Machine& m, Config cfg) : machine_(&m), cfg_(cfg) {
     queue_ = m.alloc(3);
     const Addr dummy = alloc_record();
-    m.directory().poke(rec_status(dummy), 2);  // dummy holds the lock
-    m.directory().poke(combining_tail(), dummy);
+    m.poke(rec_status(dummy), 2);  // dummy holds the lock
+    m.poke(combining_tail(), dummy);
     const Addr sentinel = m.alloc(2);
-    m.directory().poke(seq_head(), sentinel);
-    m.directory().poke(seq_tail(), sentinel);
+    m.poke(seq_head(), sentinel);
+    m.poke(seq_tail(), sentinel);
     spare_.assign(static_cast<std::size_t>(cfg.threads), 0);
   }
 
@@ -70,18 +70,20 @@ class SimCcQueue {
 
   Addr alloc_record() { return machine_->alloc(5); }
 
-  Addr take_spare(int id) {
+  Addr take_spare(Core& c, int id) {
     Addr& slot = spare_[static_cast<std::size_t>(id)];
     if (slot != 0) {
       const Addr r = slot;
       slot = 0;
       return r;
     }
-    return alloc_record();
+    // Mid-run allocation: core-attributed so arena machines (and their
+    // sharded runs) hand out schedule-independent addresses.
+    return machine_->alloc(5, c.id());
   }
 
   Task<Value> apply(Core& c, Value op, Value arg, int id) {
-    const Addr next_dummy = take_spare(id);
+    const Addr next_dummy = take_spare(c, id);
     co_await c.store(rec_next(next_dummy), 0);
     co_await c.store(rec_status(next_dummy), 0);
 
@@ -129,7 +131,7 @@ class SimCcQueue {
   Task<void> execute(Core& c, Addr record) {
     const Value op = co_await c.load(rec_op(record));
     if (op == 1) {
-      const Addr n = machine_->alloc(2);
+      const Addr n = machine_->alloc(2, c.id());
       co_await c.store(n, co_await c.load(rec_arg(record)));
       const Addr tail = co_await c.load(seq_tail());
       co_await c.store(tail + 1, n);

@@ -31,6 +31,13 @@ class SimFaaQueue {
 
   SimFaaQueue(Machine& m, Config cfg) : machine_(&m), cfg_(cfg) {
     counters_ = m.alloc(2);
+    if (m.config().alloc_arenas) {
+      // Arena mode: the whole cell array lives in one dedicated region, so
+      // cell addresses depend only on the ticket — not on which core first
+      // touched a chunk (which is schedule-dependent and, under sharding,
+      // raced by worker threads).
+      region_ = m.alloc_region();
+    }
   }
 
   // Re-point at a forked machine (see SimSbq::rebind).
@@ -90,6 +97,9 @@ class SimFaaQueue {
   static constexpr Value kChunk = 4096;
 
   Addr cell_addr(Value ticket) {
+    if (region_ != 0) {
+      return region_ + static_cast<Addr>(ticket);
+    }
     const std::size_t chunk = static_cast<std::size_t>(ticket / kChunk);
     while (chunks_.size() <= chunk) chunks_.push_back(machine_->alloc(kChunk));
     return chunks_[chunk] + (ticket % kChunk);
@@ -98,6 +108,7 @@ class SimFaaQueue {
   Machine* machine_;
   Config cfg_;
   Addr counters_ = 0;
+  Addr region_ = 0;  // fixed cell-array base in arena mode
   std::vector<Addr> chunks_;
   // Host-side per-dequeuer empty hints (each slot used by one thread).
   std::vector<char> empty_hint_ = std::vector<char>(256, 0);

@@ -22,8 +22,8 @@ class SimMsQueue {
   SimMsQueue(Machine& m, Config cfg) : machine_(&m), cfg_(cfg) {
     queue_ = m.alloc(2);
     const Addr sentinel = m.alloc(2);
-    m.directory().poke(head_addr(), sentinel);
-    m.directory().poke(tail_addr(), sentinel);
+    m.poke(head_addr(), sentinel);
+    m.poke(tail_addr(), sentinel);
   }
 
   // Re-point at a forked machine (see SimSbq::rebind).
@@ -36,7 +36,7 @@ class SimMsQueue {
 
   Task<void> enqueue(Core& c, Value element, int /*id*/) {
     assert(element >= kFirstElement);
-    const Addr node = machine_->alloc(2);
+    const Addr node = machine_->alloc(2, c.id());
     co_await c.store(node_value(node), element);
     for (;;) {
       const Addr tail = co_await c.load(tail_addr());

@@ -65,11 +65,25 @@ class SimSbq {
     assert(cfg_.enqueuers <= basket_cap_);
     queue_ = m.alloc(2 + static_cast<Addr>(cfg.enqueuers + cfg.dequeuers));
     const Addr sentinel = alloc_node_raw();
-    // Initial state set directly in the LLC: the queue is constructed
-    // before the simulation starts. Sentinel has index 0 and next NULL.
-    m.directory().poke(head_addr(), sentinel);
-    m.directory().poke(tail_addr(), sentinel);
-    m.directory().poke(node_link(sentinel), pack_link(0, 0));
+    // Initial state set directly in the LLC (home-routed when the directory
+    // is sliced): the queue is constructed before the simulation starts.
+    // Sentinel has index 0 and next NULL.
+    m.poke(head_addr(), sentinel);
+    m.poke(tail_addr(), sentinel);
+    m.poke(node_link(sentinel), pack_link(0, 0));
+    if (m.sharded() && m.stats() != nullptr) {
+      // Sharded: the host-side occupancy map must be mutated in the global
+      // event order, not whichever worker thread gets there first. Fills
+      // and closes are logged as engine effects and replayed here — in the
+      // merged serial-equivalent order — at each window barrier.
+      m.set_effect_handler([this](std::uint64_t node, std::uint64_t kind) {
+        if (kind == kEffFill) {
+          ++filled_[static_cast<Addr>(node)];
+        } else {
+          machine_->stats()->on_basket_close(filled_[static_cast<Addr>(node)]);
+        }
+      });
+    }
   }
 
   // Re-point the queue at a forked machine (Machine::fork). The queue's
@@ -129,20 +143,20 @@ class SimSbq {
       co_await c.store(node_link(new_node), pack_link(my_index, 0));
       const int status = co_await try_append(c, t, t_link, new_node, my_index);
       if (status == kSuccess) {
-        if (auto* st = machine_->stats()) {
+        if (auto* st = c.metrics()) {
           st->on_basket_append(/*won=*/true);
-          ++filled_[new_node];  // the winner's own cell, stored above
+          note_fill(c, new_node);  // the winner's own cell, stored above
         }
         co_await c.cas(tail_addr(), t, new_node);
         break;
       }
       if (status == kFailure) {
-        if (auto* st = machine_->stats()) st->on_basket_append(/*won=*/false);
+        if (auto* st = c.metrics()) st->on_basket_append(/*won=*/false);
         // Another node was appended; join the winner's basket.
         t = link_next(co_await c.load(node_link(t)));
         if (co_await c.cas(node_cell(t, static_cast<Value>(id)), kInsertMark,
                            element) != 0) {
-          if (machine_->stats() != nullptr) ++filled_[t];  // joined the basket
+          if (c.metrics() != nullptr) note_fill(c, t);  // joined the basket
           // Keep our node for reuse; undo its single insertion (O(1)).
           co_await c.store(node_cell(new_node, static_cast<Value>(id)),
                            kInsertMark);
@@ -198,23 +212,49 @@ class SimSbq {
   static constexpr int kFailure = 1;
   static constexpr int kBadTail = 2;
 
-  Addr alloc_node_raw() {
-    return machine_->alloc(static_cast<Addr>(basket_cap_) +
-                          static_cast<Addr>(stripes_) + 3);
+  // Effect-log payloads (sharded occupancy replay; see the constructor).
+  static constexpr std::uint64_t kEffFill = 0;
+  static constexpr std::uint64_t kEffClose = 1;
+
+  Addr node_words() const {
+    return static_cast<Addr>(basket_cap_) + static_cast<Addr>(stripes_) + 3;
+  }
+
+  Addr alloc_node_raw() { return machine_->alloc(node_words()); }
+
+  // Occupancy bookkeeping: inline on a serial machine; an ordered engine
+  // effect on a sharded one (replayed at the window barrier so the map sees
+  // fills and closes in the global event order). Callers gate on
+  // c.metrics() — with stats off there is nothing to account.
+  void note_fill(Core& c, Addr node) {
+    if (c.sharded()) {
+      c.log_effect(node, kEffFill);
+    } else {
+      ++filled_[node];
+    }
+  }
+  void note_close(Core& c, Addr node) {
+    if (c.sharded()) {
+      c.log_effect(node, kEffClose);
+    } else {
+      c.metrics()->on_basket_close(filled_[node]);
+    }
   }
 
   Task<Addr> take_or_allocate(Core& c, int id) {
     Addr& slot = reusable_[static_cast<std::size_t>(id)];
     if (slot != 0) {
-      if (auto* st = machine_->stats()) st->on_basket_node(/*reused=*/true);
+      if (auto* st = c.metrics()) st->on_basket_node(/*reused=*/true);
       const Addr node = slot;
       slot = 0;
       co_return node;
     }
-    if (auto* st = machine_->stats()) st->on_basket_node(/*reused=*/false);
-    // Fresh allocation: model the basket initialization as local work.
+    if (auto* st = c.metrics()) st->on_basket_node(/*reused=*/false);
+    // Fresh allocation: model the basket initialization as local work. The
+    // core-attributed overload keeps mid-run addresses deterministic (and
+    // race-free) when the machine runs with per-core arenas.
     co_await c.think(static_cast<Time>(kInitCyclesPerCell * basket_cap_));
-    co_return alloc_node_raw();
+    co_return machine_->alloc(node_words(), c.id());
   }
 
   // Algorithm 4 with the pluggable CAS (TxCAS or delayed plain CAS). The
@@ -222,7 +262,7 @@ class SimSbq {
   Task<int> try_append(Core& c, Addr tail, Value tail_link, Addr new_node,
                        Value my_index) {
     if (link_next(tail_link) != 0) {
-      if (auto* st = machine_->stats()) st->on_basket_stale_tail();
+      if (auto* st = c.metrics()) st->on_basket_stale_tail();
       co_return kBadTail;
     }
     const Value expected = pack_link(my_index - 1, 0);
@@ -251,11 +291,11 @@ class SimSbq {
         const Value index = co_await c.faa(node_counter(node), 1);
         if (index >= live) co_return 0;
         if (index == live - 1) {
-          if (auto* st = machine_->stats()) st->on_basket_close(filled_[node]);
+          if (c.metrics() != nullptr) note_close(c, node);
           co_await c.store(node_empty(node), 1);
         }
         const Value v = co_await c.swap(node_cell(node, index), kEmptyMark);
-        if (auto* st = machine_->stats()) st->on_basket_extract(v != kInsertMark);
+        if (auto* st = c.metrics()) st->on_basket_extract(v != kInsertMark);
         if (v != kInsertMark) co_return v;
       }
     }
@@ -271,13 +311,13 @@ class SimSbq {
         if (index == size - 1) {
           const Value drained = co_await c.faa(node_drained(node), 1);
           if (drained + 1 == static_cast<Value>(n)) {
-            if (auto* st = machine_->stats()) st->on_basket_close(filled_[node]);
+            if (c.metrics() != nullptr) note_close(c, node);
             co_await c.store(node_empty(node), 1);
           }
         }
         const Value v =
             co_await c.swap(node_cell(node, base + index), kEmptyMark);
-        if (auto* st = machine_->stats()) st->on_basket_extract(v != kInsertMark);
+        if (auto* st = c.metrics()) st->on_basket_extract(v != kInsertMark);
         if (v != kInsertMark) co_return v;
       }
     }
