@@ -4,7 +4,13 @@
 // entries so every driver's --json output stays machine-readable.
 //
 // Usage:
-//   json_validate FILE [--schema sbq.bench/1] [--min-cells N] -- CMD ARGS...
+//   json_validate FILE [--schema sbq.bench/1] [--min-cells N]
+//                 [--service-cells] -- CMD ARGS...
+//
+// --service-cells additionally checks every cell against the service_latency
+// cell shape (docs/service.md): an "admission" object whose counters satisfy
+// the conservation identity offered == accepted + rejected, a reject
+// fraction in [0, 1], and monotone sojourn percentiles p50 <= p99 <= p999.
 //
 // Exit status: 0 if CMD succeeded and FILE parses and conforms; 1 otherwise.
 #include <cstdlib>
@@ -31,6 +37,7 @@ int main(int argc, char** argv) {
   std::string file;
   std::string schema = sbq::BenchReport::kSchema;
   long min_cells = 0;
+  bool service_cells = false;
   std::vector<std::string> cmd;
   bool after_dashes = false;
   for (int i = 1; i < argc; ++i) {
@@ -43,6 +50,8 @@ int main(int argc, char** argv) {
       schema = argv[++i];
     } else if (a == "--min-cells" && i + 1 < argc) {
       min_cells = std::strtol(argv[++i], nullptr, 10);
+    } else if (a == "--service-cells") {
+      service_cells = true;
     } else if (file.empty()) {
       file = a;
     } else {
@@ -119,6 +128,34 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < root["cells"].size(); ++i) {
     if (root["cells"].at(i).type() != Json::Type::kObject) {
       return fail("cell " + std::to_string(i) + " is not an object");
+    }
+    if (!service_cells) continue;
+    const Json& cell = root["cells"].at(i);
+    const std::string where = "service cell " + std::to_string(i);
+    if (!cell["admission"].is_object()) {
+      return fail(where + " has no \"admission\" object");
+    }
+    const Json& adm = cell["admission"];
+    const double offered = adm["offered"].as_double();
+    const double accepted = adm["accepted"].as_double();
+    const double rejected = adm["rejected"].as_double();
+    if (offered != accepted + rejected) {
+      return fail(where + " violates admission conservation: offered " +
+                  std::to_string(offered) + " != accepted " +
+                  std::to_string(accepted) + " + rejected " +
+                  std::to_string(rejected));
+    }
+    const double rej_frac = cell["reject_fraction"].as_double();
+    if (!(rej_frac >= 0.0 && rej_frac <= 1.0)) {
+      return fail(where + " reject_fraction out of [0, 1]");
+    }
+    const double p50 = cell["sojourn_p50_ns"].as_double();
+    const double p99 = cell["sojourn_p99_ns"].as_double();
+    const double p999 = cell["sojourn_p999_ns"].as_double();
+    if (!(p50 >= 0.0 && p50 <= p99 && p99 <= p999)) {
+      return fail(where + " sojourn percentiles not monotone: p50 " +
+                  std::to_string(p50) + ", p99 " + std::to_string(p99) +
+                  ", p999 " + std::to_string(p999));
     }
   }
   std::cout << "json_validate: " << file << " ok (" << root["cells"].size()

@@ -5,7 +5,8 @@
 # sim_microbench) at their gate sizes and wall-clock-times the three
 # queue-sweep drivers the paper's headline figures use (fig5/fig6/fig7,
 # canonical args: --threads 2,4,8,16,32 --ops 100 --repeats 2 --jobs 1,
-# best of $RUNS runs). Results land in BENCH_sim.json at the repo root.
+# best of $RUNS runs) plus the open-loop service_latency driver
+# (docs/service.md). Results land in BENCH_sim.json at the repo root.
 #
 # Usage:
 #   scripts/bench_baseline.sh [before.json]
@@ -23,7 +24,7 @@ RUNS=${RUNS:-3}
 BEFORE=${1:-}
 
 for bin in fig5_enqueue fig6_dequeue fig7_mixed ablation_fault_sweep \
-           engine_microbench sim_microbench; do
+           service_latency engine_microbench sim_microbench; do
   if [ ! -x "$BUILD_DIR/bench/$bin" ]; then
     echo "bench_baseline: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -59,7 +60,12 @@ def sim_config():
             "inv_order": "canonical" if canonical else "legacy",
             "check_invariants": invariants,
             "fault_injection_default": faults,
-            "machine_threads": machine_threads}
+            "machine_threads": machine_threads,
+            # Load model of the timed service leg (docs/service.md), so the
+            # baseline records what traffic its service numbers were taken
+            # under.
+            "service_arrival": SERVICE_ARRIVAL,
+            "service_rates_per_kcycle": SERVICE_RATES}
 
 def run_checked(cmd):
     # A driver that dies mid-baseline must fail the whole capture loudly,
@@ -84,6 +90,25 @@ def run_timed(drv):
         run_checked([exe, *FIG_ARGS])
         samples.append(round(time.monotonic() - t0, 3))
     return {"args": " ".join(FIG_ARGS), "runs_s": samples,
+            "best_s": min(samples)}
+
+# Open-loop service leg (docs/service.md): poisson arrivals across an
+# underloaded / near-capacity / overloaded rate triple, default 4p/2c
+# broker with a depth-64 drop gate. Timed like the figure drivers.
+SERVICE_ARRIVAL = "poisson"
+SERVICE_RATES = [2, 8, 32]
+SERVICE_ARGS = ["--rates", ",".join(str(r) for r in SERVICE_RATES),
+                "--arrival", SERVICE_ARRIVAL, "--ops", "200",
+                "--repeats", "2", "--jobs", "1"]
+
+def run_service_leg():
+    exe = os.path.join(build, "bench", "service_latency")
+    samples = []
+    for _ in range(runs):
+        t0 = time.monotonic()
+        run_checked([exe, *SERVICE_ARGS])
+        samples.append(round(time.monotonic() - t0, 3))
+    return {"args": " ".join(SERVICE_ARGS), "runs_s": samples,
             "best_s": min(samples)}
 
 # Sharded-machine headline: one 512-core fig5-style cell (2 sockets, 4
@@ -129,6 +154,7 @@ report = {
                 "cpus": os.cpu_count()},
     "sim_config": sim_config(),
     "figures": {d: run_timed(d) for d in FIGS},
+    "service_latency": run_service_leg(),
     "sharded_fig5_512c": run_shard_sweep(),
     "microbench": {
         "engine_microbench": run_micro(

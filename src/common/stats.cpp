@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
 namespace sbq {
 
@@ -52,9 +51,9 @@ double Summary::max() const noexcept {
   return samples_.back();
 }
 
-double Summary::percentile(double p) const {
-  if (samples_.empty()) throw std::logic_error("percentile of empty Summary");
-  if (p < 0.0) p = 0.0;
+double Summary::percentile(double p) const noexcept {
+  if (samples_.empty()) return 0.0;
+  if (!(p >= 0.0)) p = 0.0;  // negative or NaN
   if (p > 100.0) p = 100.0;
   sort_if_needed();
   // Nearest-rank method.

@@ -20,8 +20,11 @@ class Summary {
   double min() const noexcept;
   double max() const noexcept;
   double sum() const noexcept;
-  // Nearest-rank percentile, p in [0, 100].
-  double percentile(double p) const;
+  // Nearest-rank percentile. Total on any input: an empty sample set
+  // yields 0.0 (consistent with mean/min/max — a service cell whose every
+  // offered op was rejected has no latency samples but still reports), and
+  // p is clamped into [0, 100] (NaN clamps to 0). Never throws.
+  double percentile(double p) const noexcept;
 
  private:
   void sort_if_needed() const;

@@ -1,9 +1,10 @@
 // Tests for the common infrastructure: padding, backoff, RNG, barrier,
-// topology discovery.
+// topology discovery, percentile edge cases.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <set>
 #include <thread>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "common/cacheline.hpp"
 #include "common/padded.hpp"
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "common/topology.hpp"
 
 namespace sbq {
@@ -129,6 +131,50 @@ TEST(Topology, DiscoversAtLeastOneCpu) {
 
 TEST(Topology, PinCurrentThreadToCpu0) {
   EXPECT_TRUE(pin_current_thread(0));
+}
+
+// Summary::percentile must be total: the service-latency driver calls it on
+// whatever samples a sweep cell produced, which can legitimately be nothing
+// (every offered op rejected by admission control) and with p values from
+// config (p999 = 99.9, but also junk). See stats.hpp for the contract.
+TEST(SummaryPercentile, EmptySampleSetYieldsZero) {
+  Summary s;
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 0.0);
+}
+
+TEST(SummaryPercentile, OutOfRangePClamps) {
+  Summary s;
+  for (double v : {10.0, 20.0, 30.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(-1), 10.0);     // clamps to p0 = min
+  EXPECT_DOUBLE_EQ(s.percentile(101), 30.0);    // clamps to p100 = max
+  EXPECT_DOUBLE_EQ(s.percentile(1e300), 30.0);
+  EXPECT_DOUBLE_EQ(
+      s.percentile(-std::numeric_limits<double>::infinity()), 10.0);
+}
+
+TEST(SummaryPercentile, NanPClampsToMin) {
+  Summary s;
+  s.add(7.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.percentile(std::numeric_limits<double>::quiet_NaN()),
+                   7.0);
+}
+
+TEST(SummaryPercentile, TailPercentilesAreMonotone) {
+  Summary s;
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    s.add(static_cast<double>(rng.next_below(100000)));
+  }
+  const double p50 = s.percentile(50);
+  const double p99 = s.percentile(99);
+  const double p999 = s.percentile(99.9);
+  EXPECT_GE(p50, 0.0);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_LE(p999, s.max());
 }
 
 }  // namespace
