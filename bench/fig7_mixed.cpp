@@ -78,13 +78,16 @@ int main(int argc, char** argv) {
         }
         table.add_row(out);
       },
-      effective_cold_start(opts));
+      effective_cold_start(opts), snapshot_cache_policy(opts));
   if (opts.csv) {
     std::cout << "\n## Normalized duration [ns/op] (lower is better)\n";
     table.print(std::cout, opts.csv);
   }
   if (!opts.json_path.empty()) {
     report.add_table("normalized_duration_ns", table);
+    if (!opts.snapshot_cache.empty()) {
+      report.set_snapshot_cache(cache_mode_name(snapshot_cache_policy(opts).mode));
+    }
     if (!report.write(opts.json_path)) return 1;
   }
   if (!opts.trace_path.empty() && !threads.empty()) {

@@ -23,13 +23,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <new>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "benchsupport/bench_report.hpp"
 #include "benchsupport/table.hpp"
 #include "common/rng.hpp"
 #include "sim/machine.hpp"
+#include "sim/serialize.hpp"
 #include "simqueue/sim_sbq.hpp"
 
 // ---------------------------------------------------------------------------
@@ -250,9 +254,16 @@ int main(int argc, char** argv) {
   Table table({"phase", "events", "queue_ops", "Mevents/s", "allocs",
                "alloc_bytes", "allocs_per_event"});
   bool steady_clean = true;
+  // --from-snapshot replaces the machine under the steady phases with one
+  // forked from a serialize/decode round-trip of the cold-warmed state
+  // (storage for that fork lives here so `mp`/`qp` stay valid).
+  std::unique_ptr<sim::Machine> forked;
+  std::optional<simq::SimSbq> forked_q;
+  sim::Machine* mp = &m;
+  simq::SimSbq* qp = &q;
   for (int r = 0; r < repeats + 1; ++r) {
     const PhaseResult res =
-        run_phase(m, q, producers, ops, 1 + static_cast<std::uint64_t>(r));
+        run_phase(*mp, *qp, producers, ops, 1 + static_cast<std::uint64_t>(r));
     const std::string phase = r == 0 ? "cold" : "steady-" + std::to_string(r);
     if (r > 0 && res.allocs != 0) steady_clean = false;
     const double ape =
@@ -275,6 +286,47 @@ int main(int argc, char** argv) {
       cj.set("alloc_bytes", Json(res.bytes));
       cj.set("allocs_per_event", Json(ape));
       report.add_cell(std::move(cj));
+    }
+    // --from-snapshot: serialize the machine the cold phase just warmed,
+    // decode the blob, and run every steady phase on a fork of the DECODED
+    // snapshot — the allocation gate's deserialized-warm-start leg
+    // (perf_sim_alloc_gate_snapshot). The decoded config prewarns the
+    // fork's event-node slab to the warm machine's capacity, so the fork —
+    // like the machine it replaces — never refills mid-phase; line-table
+    // capacities ride along inside the blob.
+    if (r == 0 && opts.from_snapshot) {
+      if (mcfg.machine_threads > 1) {
+        std::cerr << "sim_microbench: --from-snapshot requires the serial "
+                     "engine (sharded machines refuse snapshots)\n";
+        return 1;
+      }
+      const std::uint64_t key = 0x5ea15ea15ea15ea1ULL;
+      std::vector<std::uint64_t> words;
+      q.save_host_state(words);
+      const std::vector<std::uint8_t> blob =
+          sim::encode_snapshot_blob(m.snapshot(), words, key);
+      sim::MachineSnapshot decoded;
+      std::vector<std::uint64_t> dwords;
+      if (blob.empty() ||
+          !sim::decode_snapshot_blob(blob, key, decoded, dwords)) {
+        std::cerr << "sim_microbench: FAIL — snapshot blob round-trip "
+                     "rejected\n";
+        return 1;
+      }
+      decoded.cfg.prewarm_event_nodes = m.engine().node_capacity();
+      forked = sim::Machine::fork(decoded);
+      forked->reserve_tasks(static_cast<std::size_t>(2 * producers));
+      try {
+        forked_q.emplace(*forked, qcfg,
+                         simq::HostWords{dwords.data(), dwords.size()});
+      } catch (const std::out_of_range&) {
+        std::cerr << "sim_microbench: FAIL — decoded host words rejected\n";
+        return 1;
+      }
+      mp = forked.get();
+      qp = &*forked_q;
+      std::cout << "(steady phases run on a machine forked from a "
+                   "serialized+decoded snapshot)\n";
     }
   }
   table.print(std::cout, opts.csv);

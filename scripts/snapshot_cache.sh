@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Manage the persistent warm-start snapshot cache (docs/performance.md
+# "Warm-start cache"). The cache directory is $SBQ_SNAPSHOT_CACHE if set,
+# else ./.sbq-cache; entries are content-addressed files named
+# v<schema>-<16-hex-key>.snap, so stale entries are never *read* — this
+# script only reports on and reclaims the disk they occupy.
+#
+# Usage:
+#   scripts/snapshot_cache.sh --stats   # entry count + bytes, per schema
+#   scripts/snapshot_cache.sh --prune   # delete stale-schema + temp files
+#   scripts/snapshot_cache.sh --clear   # delete the whole cache directory
+#
+# --prune keeps entries of the CURRENT schema version (read from
+# src/sim/serialize.hpp) and removes everything else: blobs from older
+# schema versions (unreadable by the current decoder) and orphaned .tmp.*
+# files from interrupted writers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CACHE_DIR=${SBQ_SNAPSHOT_CACHE:-.sbq-cache}
+
+current_schema() {
+  sed -n 's/.*kSnapshotSchemaVersion = \([0-9][0-9]*\);.*/\1/p' \
+      src/sim/serialize.hpp | head -n 1
+}
+
+case "${1:-}" in
+  --stats)
+    if [ ! -d "$CACHE_DIR" ]; then
+      echo "snapshot_cache: $CACHE_DIR does not exist (cache is empty)"
+      exit 0
+    fi
+    echo "snapshot_cache: $CACHE_DIR"
+    total_n=0
+    total_b=0
+    # Group by schema prefix (v1-, v2-, ...).
+    for prefix in $(find "$CACHE_DIR" -maxdepth 1 -name 'v*-*.snap' \
+        -exec basename {} \; 2>/dev/null | sed 's/-.*//' | sort -u); do
+      n=0
+      b=0
+      for f in "$CACHE_DIR/$prefix"-*.snap; do
+        [ -f "$f" ] || continue
+        n=$((n + 1))
+        b=$((b + $(wc -c < "$f")))
+      done
+      echo "  schema $prefix: $n entries, $b bytes"
+      total_n=$((total_n + n))
+      total_b=$((total_b + b))
+    done
+    tmp_n=$(find "$CACHE_DIR" -maxdepth 1 -name '.tmp.*' 2>/dev/null | wc -l)
+    echo "  total: $total_n entries, $total_b bytes, $tmp_n orphaned temp file(s)"
+    ;;
+  --prune)
+    if [ ! -d "$CACHE_DIR" ]; then
+      echo "snapshot_cache: $CACHE_DIR does not exist (nothing to prune)"
+      exit 0
+    fi
+    schema=$(current_schema)
+    if [ -z "$schema" ]; then
+      echo "snapshot_cache: cannot read kSnapshotSchemaVersion from src/sim/serialize.hpp" >&2
+      exit 1
+    fi
+    removed=0
+    for f in "$CACHE_DIR"/v*-*.snap; do
+      [ -f "$f" ] || continue
+      case "$(basename "$f")" in
+        "v$schema"-*) ;;  # current schema: keep
+        *)
+          rm -f "$f"
+          removed=$((removed + 1))
+          ;;
+      esac
+    done
+    for f in "$CACHE_DIR"/.tmp.*; do
+      [ -f "$f" ] || continue
+      rm -f "$f"
+      removed=$((removed + 1))
+    done
+    echo "snapshot_cache: pruned $removed file(s) (kept schema v$schema entries)"
+    ;;
+  --clear)
+    rm -rf "$CACHE_DIR"
+    echo "snapshot_cache: removed $CACHE_DIR"
+    ;;
+  *)
+    echo "usage: scripts/snapshot_cache.sh --stats | --prune | --clear" >&2
+    exit 2
+    ;;
+esac

@@ -1,0 +1,105 @@
+#include "benchsupport/snapshot_cache.hpp"
+
+#include <unistd.h>
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace sbq::bench {
+
+bool parse_cache_mode(const std::string& s, CacheMode& out) {
+  if (s == "off") {
+    out = CacheMode::kOff;
+  } else if (s == "ro") {
+    out = CacheMode::kReadOnly;
+  } else if (s == "rw") {
+    out = CacheMode::kReadWrite;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* cache_mode_name(CacheMode m) noexcept {
+  switch (m) {
+    case CacheMode::kOff: return "off";
+    case CacheMode::kReadOnly: return "ro";
+    case CacheMode::kReadWrite: return "rw";
+  }
+  return "?";
+}
+
+SnapshotCacheStats& snapshot_cache_stats() noexcept {
+  static SnapshotCacheStats stats;
+  return stats;
+}
+
+void CacheKey::add_f64(double v) noexcept {
+  add_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+SnapshotCache::SnapshotCache(CacheMode mode, std::uint32_t schema_version)
+    : mode_(mode), schema_(schema_version) {
+  const char* env = std::getenv("SBQ_SNAPSHOT_CACHE");
+  dir_ = (env != nullptr && env[0] != '\0') ? env : ".sbq-cache";
+}
+
+std::string SnapshotCache::path_for(std::uint64_t key) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "/v%u-%016llx.snap", schema_,
+                static_cast<unsigned long long>(key));
+  return dir_ + name;
+}
+
+std::optional<std::vector<std::uint8_t>> SnapshotCache::load(
+    std::uint64_t key) const {
+  if (mode_ == CacheMode::kOff) return std::nullopt;
+  std::FILE* f = std::fopen(path_for(key).c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::vector<std::uint8_t> blob;
+  std::uint8_t buf[1 << 14];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    blob.insert(blob.end(), buf, buf + n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) return std::nullopt;
+  return blob;
+}
+
+bool SnapshotCache::store(std::uint64_t key,
+                          const std::vector<std::uint8_t>& blob) const {
+  if (mode_ != CacheMode::kReadWrite || blob.empty()) return false;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);  // ok if it already exists
+  const std::string final_path = path_for(key);
+  // Temp name unique per process (pid) AND per store call (atomic
+  // counter), so concurrent threads — even ones storing the same key —
+  // never share a temp file. The rename is what makes publication safe;
+  // same-filesystem is guaranteed because the temp lives in the cache dir
+  // itself.
+  static std::atomic<std::uint64_t> store_seq{0};
+  char suffix[64];
+  std::snprintf(suffix, sizeof(suffix), ".tmp.%ld.%llu",
+                static_cast<long>(::getpid()),
+                static_cast<unsigned long long>(
+                    store_seq.fetch_add(1, std::memory_order_relaxed)));
+  const std::string tmp_path = final_path + suffix;
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
+  const bool flushed = std::fclose(f) == 0;
+  if (!wrote || !flushed ||
+      std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sbq::bench

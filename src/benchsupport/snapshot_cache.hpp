@@ -1,0 +1,106 @@
+// SnapshotCache — persistent content-addressed store for warm-start blobs
+// (docs/performance.md "Warm-start cache").
+//
+// A cache entry is an opaque byte blob (in practice a serialized
+// sim::MachineSnapshot, see sim/serialize.hpp) addressed by a 64-bit
+// canonical key. The key is a streaming FNV-1a hash over everything that
+// determines the warmed state: the snapshot schema version, every
+// MachineConfig field, the queue kind, and the prefill workload — so any
+// change to any input lands on a different file and stale entries are
+// simply never addressed (scripts/snapshot_cache.sh --prune collects them).
+//
+// Concurrency: store() writes to a unique temp file in the cache directory
+// and publishes it with one atomic rename, so concurrent sweep workers (or
+// whole concurrent driver processes) racing on the same key never observe a
+// torn blob — they see the old file, the new file, or no file. load()
+// additionally leaves integrity checking to the blob's own checksum; this
+// layer only moves bytes.
+//
+// Layout: <dir>/v<schema>-<16-hex-key>.snap where <dir> is
+// $SBQ_SNAPSHOT_CACHE or ./.sbq-cache. Every IO failure degrades to a miss
+// or a skipped store — the cache is an accelerator, never a correctness
+// dependency.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sbq::bench {
+
+// --snapshot-cache=off|ro|rw. rw is the default: the cache is transparent
+// (byte-identical outputs either way), so there is no reason not to fill it.
+enum class CacheMode { kOff, kReadOnly, kReadWrite };
+
+// Parses "off"/"ro"/"rw"; returns false (leaving `out` untouched) otherwise.
+bool parse_cache_mode(const std::string& s, CacheMode& out);
+const char* cache_mode_name(CacheMode m) noexcept;
+
+// Process-wide hit/miss/store counters (relaxed atomics: sweep workers on
+// several threads count concurrently). A "hit" is a load whose blob also
+// decoded successfully — the caller counts after validation, so a corrupt
+// or stale file is a miss even though the bytes were read.
+struct SnapshotCacheStats {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> stores{0};
+};
+SnapshotCacheStats& snapshot_cache_stats() noexcept;
+
+// Streaming FNV-1a 64-bit hasher for canonical cache keys. Field order is
+// part of the schema: hash the same fields in the same order everywhere
+// (sim_queue_bench_util.hpp snapshot_cache_key is the one key derivation).
+class CacheKey {
+ public:
+  void add_u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void add_f64(double v) noexcept;  // bitwise, so -0.0 != 0.0 etc. is exact
+  void add_str(const char* s) noexcept {
+    for (; *s != '\0'; ++s) byte(static_cast<std::uint8_t>(*s));
+    byte(0);  // terminator keeps ("ab","c") distinct from ("a","bc")
+  }
+  std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  void byte(std::uint8_t b) noexcept {
+    h_ ^= b;
+    h_ *= 1099511628211ULL;
+  }
+  std::uint64_t h_ = 14695981039346656037ULL;
+};
+
+class SnapshotCache {
+ public:
+  // `schema_version` becomes part of the filename, so bumped-schema blobs
+  // are never even opened. The directory is resolved once:
+  // $SBQ_SNAPSHOT_CACHE if set and non-empty, else ".sbq-cache".
+  explicit SnapshotCache(CacheMode mode, std::uint32_t schema_version);
+
+  CacheMode mode() const noexcept { return mode_; }
+  bool enabled() const noexcept { return mode_ != CacheMode::kOff; }
+  const std::string& dir() const noexcept { return dir_; }
+
+  // Read the blob for `key`. nullopt on kOff mode, missing file, or any IO
+  // error. Does NOT touch the stats counters (the caller decides hit vs
+  // miss after decoding).
+  std::optional<std::vector<std::uint8_t>> load(std::uint64_t key) const;
+
+  // Publish `blob` under `key` (kReadWrite only; silently skipped
+  // otherwise). Creates the cache directory on first use. Best-effort:
+  // write to a unique temp file, atomic-rename over the final name; any
+  // failure cleans up the temp file and returns false.
+  bool store(std::uint64_t key, const std::vector<std::uint8_t>& blob) const;
+
+  // Final path for `key` (exposed for tests and the stats script).
+  std::string path_for(std::uint64_t key) const;
+
+ private:
+  CacheMode mode_;
+  std::uint32_t schema_;
+  std::string dir_;
+};
+
+}  // namespace sbq::bench

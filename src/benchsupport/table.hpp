@@ -83,6 +83,18 @@ struct BenchOptions {
   int machine_threads = 1;
   int dir_slices = 0;
   int sockets = 0;
+  // Persistent warm-start cache (docs/performance.md "Warm-start cache"):
+  //   --snapshot-cache=off|ro|rw  cache mode; empty (flag absent) means the
+  //                               rw default AND suppresses the
+  //                               snapshot_cache block in --json artifacts,
+  //                               so default artifacts stay byte-stable.
+  //   --from-snapshot             sim_microbench only: run the measured
+  //                               phases on a machine forked from a
+  //                               serialize/deserialize round-trip of the
+  //                               warmed snapshot (the perf gate's third
+  //                               identity path).
+  std::string snapshot_cache;
+  bool from_snapshot = false;
   static BenchOptions parse(int argc, char** argv);
 
   // Worker threads for the sweep pool: 1 under --serial, --jobs N when

@@ -28,6 +28,10 @@ void Engine::refill_slab() {
   for (std::size_t i = 0; i < kSlabNodes; ++i) release_node(&chunk[i]);
 }
 
+void Engine::prewarm_nodes(std::size_t n) {
+  while (node_capacity() < n) refill_slab();
+}
+
 void Engine::insert_slot_by_seq(Node* n) noexcept {
   const std::size_t idx = static_cast<std::size_t>(n->time) & kWheelMask;
   Slot& s = wheel_[idx];

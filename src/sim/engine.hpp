@@ -131,6 +131,19 @@ class Engine {
   };
   const AllocStats& alloc_stats() const noexcept { return alloc_; }
 
+  // Grow the node slab until at least `n` nodes exist (free or in use).
+  // Slab warmth is wall-clock state, not schedule state (it is excluded
+  // from Checkpoint), so prewarming is always schedule-invisible. Machines
+  // forked from a deserialized snapshot use this
+  // (MachineConfig::prewarm_event_nodes) to keep the measured phase off the
+  // heap — the in-memory fork path inherits a warm process, the on-disk
+  // path starts cold.
+  void prewarm_nodes(std::size_t n);
+  // Total nodes backed by the slab (free + live).
+  std::size_t node_capacity() const noexcept {
+    return slabs_.size() * kSlabNodes;
+  }
+
   // Checkpoint of the schedule-visible clock state, valid only at idle()
   // (no pending events — nothing in the wheel or overflow heap to capture).
   // Restoring onto an idle engine resumes the (time, seq) stream exactly

@@ -147,6 +147,11 @@ class FlatMap {
   }
 
  private:
+  // Snapshot serialization (sim/serialize.cpp) persists the exact slot
+  // layout: slot indices feed probe chains, so an "equivalent" reinsertion
+  // could change the capacity/probe profile vs the in-memory fork path.
+  friend struct SnapshotSerde;
+
   enum : std::uint8_t { kEmpty = 0, kFull = 1, kTomb = 2, kUnplaced = 3 };
   static constexpr std::size_t kNotFound = ~std::size_t{0};
   static constexpr std::size_t kMinCapacity = 16;

@@ -212,6 +212,9 @@ Machine::Machine(MachineConfig cfg)
   if (cfg_.prewarm_frames > 0) {
     detail::FramePool::prewarm(cfg_.prewarm_frames);
   }
+  if (cfg_.prewarm_event_nodes > 0 && cfg_.machine_threads == 1) {
+    engine_.prewarm_nodes(cfg_.prewarm_event_nodes);
+  }
   if (cfg_.check_invariants && cfg_.machine_threads > 1) {
     throw std::runtime_error(
         "Machine: check_invariants is serial-only (slice-local state is "

@@ -1,0 +1,63 @@
+// Stable binary serialization of MachineSnapshot — the durable half of the
+// warm-start story (docs/performance.md "Warm-start cache").
+//
+// A snapshot captured by Machine::snapshot() is a plain value; this module
+// turns it into a versioned little-endian blob and back, so a warmed prefill
+// can be paid once per (config, workload) *ever* instead of once per
+// process. A forked machine built from a decoded snapshot replays
+// byte-identically to one forked from the in-memory snapshot (gated by
+// tests/snapshot_serde_test.cpp and the cached golden checks).
+//
+// Format: magic + schema version + cache key, then u8-tagged sections
+// (config, engine checkpoint, interconnect, directories, cores, stats,
+// allocator cursors, queue host words), then an FNV-1a checksum over every
+// preceding byte. Explicit section tags plus the version stamp mean a
+// schema bump *rejects* old blobs instead of misreading them; decode never
+// throws — any structural problem (truncation, corruption, stale version,
+// foreign key) returns false and the caller warms up cold.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace sbq::sim {
+
+// Bump on ANY change to the encoding or to the schedule-visible state it
+// captures (new MachineConfig fields, State-struct layout changes, …).
+// Stale-version blobs are rejected at decode and garbage-collected by
+// scripts/snapshot_cache.sh --prune.
+inline constexpr std::uint32_t kSnapshotSchemaVersion = 1;
+
+// True when a machine built from `cfg` produces snapshots this module can
+// round-trip: serial (sharded machines refuse to snapshot anyway), no trace
+// ring (debug state, deliberately not captured), canonical Inv order (the
+// legacy bucket-chain side tables embed libstdc++ internals and are a
+// diffing tool, not a schedule worth persisting).
+bool snapshot_cacheable(const MachineConfig& cfg) noexcept;
+
+// FNV-1a64 digest of `cfg`'s canonical encoding — the MachineConfig
+// component of snapshot-cache keys. Because it hashes the exact bytes the
+// blob's config section carries, any config field that affects the encoding
+// automatically affects the key; there is no second field list to drift.
+std::uint64_t machine_config_digest(const MachineConfig& cfg);
+
+// Encode `snap` (plus the owning queue's host-side words — see
+// simq::HostWords) into a self-checking blob stamped with `key`. Returns an
+// empty vector when the snapshot holds unserializable state (non-empty
+// legacy inv-order tables).
+std::vector<std::uint8_t> encode_snapshot_blob(
+    const MachineSnapshot& snap, const std::vector<std::uint64_t>& host_words,
+    std::uint64_t key);
+
+// Decode a blob produced by encode_snapshot_blob under the same schema
+// version and `key`. On success fills `snap` + `host_words` and returns
+// true; on any mismatch (magic, version, key, checksum, truncation, section
+// shape) returns false without touching partial state into the outputs'
+// final values being trusted — callers treat false as a cache miss.
+bool decode_snapshot_blob(const std::vector<std::uint8_t>& blob,
+                          std::uint64_t key, MachineSnapshot& snap,
+                          std::vector<std::uint64_t>& host_words);
+
+}  // namespace sbq::sim

@@ -207,6 +207,10 @@ class SharerSet {
   const_iterator end() const noexcept { return {this, words_.size()}; }
 
  private:
+  // Snapshot serialization (sim/serialize.cpp) restores the word array
+  // verbatim and recomputes size_ by popcount.
+  friend struct SnapshotSerde;
+
   // membership bitmask, bit = core id
   detail::SmallBuf<std::uint64_t, kInlineWords> words_;
   std::size_t size_ = 0;

@@ -218,6 +218,10 @@ class Stats {
   }
 
  private:
+  // Snapshot serialization (sim/serialize.cpp) restores the registry
+  // member-by-member into an instance emplaced from (cores, track_lines).
+  friend struct SnapshotSerde;
+
   ProtocolCounters* line_slot(Addr a) {
     return track_lines_ ? &lines_[a] : nullptr;
   }

@@ -158,6 +158,13 @@ struct MachineConfig {
   // allocation-gate benches set it so a steady phase whose live-frame
   // high-water exceeds the cold phase's never hits the heap.
   std::size_t prewarm_frames = 0;
+  // Pre-fill the engine's event-node slab with at least this many nodes at
+  // construction. 0 (default) skips it. Machines forked from a *deserialized*
+  // snapshot set this (the in-memory fork path inherits the warmed engine's
+  // slabs for free, the on-disk path starts from a cold engine): the
+  // measured phase then never refills the slab, keeping the zero-alloc
+  // perf_smoke gates green on the cached warm-start path.
+  std::size_t prewarm_event_nodes = 0;
   // Saturation accounting (backpressure): when > 0, the interconnect's
   // per-link occupancy queues and the per-slice directory count how often
   // a message arrives while `cap` messages are already queued ahead of it

@@ -33,6 +33,24 @@ class SimBasketsQueue {
     m.poke(tail_addr(), sentinel);
   }
 
+  // Rebuild around a machine forked from a deserialized snapshot (see
+  // HostWords). Restores deq_ops_ verbatim — the hop counters decide when
+  // head swings happen, so they are schedule-visible — which is why callers
+  // must NOT follow this constructor with set_dequeuers().
+  SimBasketsQueue(Machine& m, Config cfg, const HostWords& w)
+      : machine_(&m), cfg_(cfg), queue_(w.at(0)) {
+    deq_ops_.assign(static_cast<std::size_t>(w.at(1)), 0);
+    for (std::size_t i = 0; i < deq_ops_.size(); ++i) {
+      deq_ops_[i] = w.at(2 + i);
+    }
+  }
+
+  void save_host_state(std::vector<std::uint64_t>& out) const {
+    out.push_back(queue_);
+    out.push_back(deq_ops_.size());
+    out.insert(out.end(), deq_ops_.begin(), deq_ops_.end());
+  }
+
   // Re-point at a forked machine (see SimSbq::rebind).
   void rebind(Machine& m) { machine_ = &m; }
 

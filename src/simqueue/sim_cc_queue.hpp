@@ -37,6 +37,23 @@ class SimCcQueue {
     spare_.assign(static_cast<std::size_t>(cfg.threads), 0);
   }
 
+  // Rebuild around a machine forked from a deserialized snapshot (see
+  // HostWords). The spare-record cache is restored verbatim: whether a
+  // thread reuses or allocates its next record is schedule-visible.
+  SimCcQueue(Machine& m, Config cfg, const HostWords& w)
+      : machine_(&m), cfg_(cfg), queue_(w.at(0)) {
+    spare_.assign(static_cast<std::size_t>(w.at(1)), 0);
+    for (std::size_t i = 0; i < spare_.size(); ++i) {
+      spare_[i] = w.at(2 + i);
+    }
+  }
+
+  void save_host_state(std::vector<std::uint64_t>& out) const {
+    out.push_back(queue_);
+    out.push_back(spare_.size());
+    out.insert(out.end(), spare_.begin(), spare_.end());
+  }
+
   // Re-point at a forked machine (see SimSbq::rebind).
   void rebind(Machine& m) { machine_ = &m; }
 

@@ -40,6 +40,30 @@ class SimFaaQueue {
     }
   }
 
+  // Rebuild around a machine forked from a deserialized snapshot (see
+  // HostWords). Chunk bases and the per-dequeuer empty hints are restored
+  // verbatim: cell addressing and the hint-gated counter polls are both
+  // schedule-visible.
+  SimFaaQueue(Machine& m, Config cfg, const HostWords& w)
+      : machine_(&m), cfg_(cfg), counters_(w.at(0)), region_(w.at(1)) {
+    std::size_t i = 2;
+    chunks_.assign(static_cast<std::size_t>(w.at(i++)), 0);
+    for (Addr& c : chunks_) c = w.at(i++);
+    empty_hint_.assign(static_cast<std::size_t>(w.at(i++)), 0);
+    for (char& h : empty_hint_) h = static_cast<char>(w.at(i++));
+  }
+
+  void save_host_state(std::vector<std::uint64_t>& out) const {
+    out.push_back(counters_);
+    out.push_back(region_);
+    out.push_back(chunks_.size());
+    out.insert(out.end(), chunks_.begin(), chunks_.end());
+    out.push_back(empty_hint_.size());
+    for (char h : empty_hint_) {
+      out.push_back(static_cast<std::uint64_t>(static_cast<unsigned char>(h)));
+    }
+  }
+
   // Re-point at a forked machine (see SimSbq::rebind).
   void rebind(Machine& m) { machine_ = &m; }
 

@@ -26,6 +26,16 @@ class SimMsQueue {
     m.poke(tail_addr(), sentinel);
   }
 
+  // Rebuild around a machine forked from a deserialized snapshot: the list
+  // nodes and head/tail words already live in the machine state, so no
+  // allocation or poke happens here (see HostWords).
+  SimMsQueue(Machine& m, Config cfg, const HostWords& w)
+      : machine_(&m), cfg_(cfg), queue_(w.at(0)) {}
+
+  void save_host_state(std::vector<std::uint64_t>& out) const {
+    out.push_back(queue_);
+  }
+
   // Re-point at a forked machine (see SimSbq::rebind).
   void rebind(Machine& m) { machine_ = &m; }
 
