@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
     sim::MachineConfig mcfg;
     mcfg.cores = t;
     apply_machine_options(mcfg, opts);
+    apply_cas_policy_options(mcfg, opts);
     WorkloadSpec spec;
     spec.kind = Workload::kProducerOnly;
     spec.producers = t;

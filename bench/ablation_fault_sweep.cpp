@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
 
   auto make = [&](double rate) {
     sim::MachineConfig mcfg;
+    apply_cas_policy_options(mcfg, opts);
     WorkloadSpec spec;
     spec.kind = Workload::kProducerOnly;
     spec.ops_per_thread = ops;

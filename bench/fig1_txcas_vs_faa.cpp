@@ -86,6 +86,7 @@ double run_mode(const BenchOptions& opts, bool txcas, int threads, Value ops,
   mcfg.cores = threads;
   mcfg.record_trace = !trace_path.empty();
   bench::apply_machine_options(mcfg, opts);
+  bench::apply_cas_policy_options(mcfg, opts);
   if (mcfg.record_trace) mcfg.machine_threads = 1;  // tracing is serial-only
   Machine m(mcfg);
   const Addr x = m.alloc();

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
     mcfg.cores = t;
     apply_fault_options(mcfg, opts);
     apply_machine_options(mcfg, opts);
+    apply_cas_policy_options(mcfg, opts);
     WorkloadSpec spec;
     spec.kind = Workload::kProducerOnly;
     spec.producers = t;

@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
     mcfg.sockets = 2;
     apply_fault_options(mcfg, opts);
     apply_machine_options(mcfg, opts);
+    apply_cas_policy_options(mcfg, opts);
     WorkloadSpec spec;
     spec.kind = Workload::kMixed;
     spec.producers = half;

@@ -12,6 +12,14 @@
 // the conservation identity offered == accepted + rejected, a reject
 // fraction in [0, 1], and monotone sojourn percentiles p50 <= p99 <= p999.
 //
+// --policy-cells checks every cell carrying a "counters" object against the
+// TxCAS conservation identities (docs/architecture.md "Contention policy
+// layer"): htm.attempts == htm.commits + sum(htm.aborts), fallbacks +
+// fallback_cas <= calls, and — when the gated "cas_policy" block is present —
+// the policy's decision counters must agree with the htm counters
+// (txn_steps == attempts, budget_fallbacks == fallbacks,
+// degraded_fallbacks == fallback_cas).
+//
 // Exit status: 0 if CMD succeeded and FILE parses and conforms; 1 otherwise.
 #include <cstdlib>
 #include <fstream>
@@ -38,6 +46,7 @@ int main(int argc, char** argv) {
   std::string schema = sbq::BenchReport::kSchema;
   long min_cells = 0;
   bool service_cells = false;
+  bool policy_cells = false;
   std::vector<std::string> cmd;
   bool after_dashes = false;
   for (int i = 1; i < argc; ++i) {
@@ -52,6 +61,8 @@ int main(int argc, char** argv) {
       min_cells = std::strtol(argv[++i], nullptr, 10);
     } else if (a == "--service-cells") {
       service_cells = true;
+    } else if (a == "--policy-cells") {
+      policy_cells = true;
     } else if (file.empty()) {
       file = a;
     } else {
@@ -128,6 +139,55 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < root["cells"].size(); ++i) {
     if (root["cells"].at(i).type() != Json::Type::kObject) {
       return fail("cell " + std::to_string(i) + " is not an object");
+    }
+    if (policy_cells) {
+      const Json& cell = root["cells"].at(i);
+      if (cell["counters"].is_object()) {
+        const std::string where = "policy cell " + std::to_string(i);
+        const Json& htm = cell["counters"]["htm"];
+        if (!htm.is_object()) return fail(where + " has no htm counters");
+        const double calls = htm["calls"].as_double();
+        const double attempts = htm["attempts"].as_double();
+        const double commits = htm["commits"].as_double();
+        double aborts = 0;
+        for (const auto& [cause, n] : htm["aborts"].items()) {
+          (void)cause;
+          aborts += n.as_double();
+        }
+        if (attempts != commits + aborts) {
+          return fail(where + " violates attempt conservation: attempts " +
+                      std::to_string(attempts) + " != commits " +
+                      std::to_string(commits) + " + aborts " +
+                      std::to_string(aborts));
+        }
+        const double fallbacks = htm["fallbacks"].as_double();
+        const Json& policy = cell["counters"]["cas_policy"];
+        const double fallback_cas = policy.is_object()
+                                        ? policy["fallback_cas"].as_double()
+                                        : (htm["fallback_cas"].is_number()
+                                               ? htm["fallback_cas"].as_double()
+                                               : 0.0);
+        if (fallbacks + fallback_cas > calls) {
+          return fail(where + " has more fallbacks (" +
+                      std::to_string(fallbacks) + " + " +
+                      std::to_string(fallback_cas) + " degraded) than calls (" +
+                      std::to_string(calls) + ")");
+        }
+        if (policy.is_object()) {
+          if (policy["txn_steps"].as_double() != attempts) {
+            return fail(where + " policy txn_steps " +
+                        std::to_string(policy["txn_steps"].as_double()) +
+                        " != htm attempts " + std::to_string(attempts));
+          }
+          if (policy["budget_fallbacks"].as_double() != fallbacks) {
+            return fail(where + " policy budget_fallbacks != htm fallbacks");
+          }
+          if (policy["degraded_fallbacks"].as_double() != fallback_cas) {
+            return fail(where +
+                        " policy degraded_fallbacks != htm fallback_cas");
+          }
+        }
+      }
     }
     if (!service_cells) continue;
     const Json& cell = root["cells"].at(i);

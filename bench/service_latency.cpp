@@ -340,6 +340,7 @@ int main(int argc, char** argv) try {
     mcfg.cores = sopts.producers + sopts.consumers;
     apply_fault_options(mcfg, opts);
     apply_machine_options(mcfg, opts);
+    apply_cas_policy_options(mcfg, opts);
     WorkloadSpec qspec;  // queue sizing only; the broker runs the workload
     qspec.kind = Workload::kMixed;
     qspec.producers = sopts.producers;

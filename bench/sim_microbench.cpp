@@ -34,6 +34,7 @@
 #include "common/rng.hpp"
 #include "sim/machine.hpp"
 #include "sim/serialize.hpp"
+#include "sim_queue_bench_util.hpp"
 #include "simqueue/sim_sbq.hpp"
 
 // ---------------------------------------------------------------------------
@@ -46,7 +47,6 @@
 namespace {
 std::atomic<std::uint64_t> g_alloc_calls{0};
 std::atomic<std::uint64_t> g_alloc_bytes{0};
-
 void count(std::size_t n) {
   g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
   g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
@@ -206,6 +206,21 @@ int main(int argc, char** argv) {
   // bookkeeping (filled_) grows with every basket — the gate measures the
   // simulator proper, so stats stay off.
   mcfg.collect_stats = false;
+  // --cas-policy points the same zero-alloc gate at the adaptive retry
+  // paths: policy state lives inline in each core's TxCasOp slot, so a
+  // steady phase under adaptive-backoff must be exactly as allocation-free
+  // as under fixed (perf_sim_alloc_gate_policy in bench/CMakeLists.txt).
+  bench::apply_cas_policy_options(mcfg, opts);
+  if (!opts.cas_policy.empty()) {
+    report.set_config("cas_policy", Json(opts.cas_policy));
+    // Adaptive delays reshape every phase's schedule (the persistent
+    // failure history keeps evolving across phases), so a steady phase can
+    // exceed the cold phase's live-frame and in-flight-event high-water.
+    // Prewarm both pools past any plausible depth for this workload size,
+    // exactly like the sharded leg below.
+    mcfg.prewarm_frames = static_cast<std::size_t>(4 * mcfg.cores) + 32;
+    mcfg.prewarm_event_nodes = std::size_t{1} << 12;
+  }
   // --machine-threads > 1 points the same gate at the sliced path: the
   // per-slice engines, cross-slice channel buffers, and the window-merge
   // scratch must be equally allocation-free once warm

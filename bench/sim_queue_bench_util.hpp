@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "benchsupport/bench_report.hpp"
+#include "common/contention.hpp"
 #include "benchsupport/metrics_json.hpp"
 #include "benchsupport/parallel_sweep.hpp"
 #include "benchsupport/sim_workload.hpp"
@@ -127,6 +128,32 @@ inline void apply_machine_options(sim::MachineConfig& mcfg,
   mcfg.dir_slices = std::min(slices, mcfg.cores);
   mcfg.machine_threads = opts.machine_threads;
   mcfg.alloc_arenas = mcfg.dir_slices > 1;
+}
+
+// Map the shared --cas-policy/--policy-seed/--policy-budget/--policy-nc-cost
+// options onto a machine's TxCAS contention policy (common/contention.hpp;
+// docs/architecture.md "Contention policy layer"). An empty --cas-policy
+// leaves the default fixed policy in place, so default invocations keep the
+// byte-identical golden schedule. An unknown name throws — sweeps must not
+// silently fall back to fixed.
+inline void apply_cas_policy_options(sim::MachineConfig& mcfg,
+                                     const BenchOptions& opts) {
+  if (opts.cas_policy.empty()) return;
+  ContentionPolicyKind kind;
+  if (!contention_policy_from_name(opts.cas_policy.c_str(), kind)) {
+    throw std::invalid_argument(
+        "--cas-policy needs fixed, adaptive-backoff or adaptive-fallback");
+  }
+  mcfg.cas_policy.kind = kind;
+  mcfg.cas_policy.seed = opts.policy_seed;
+  if (opts.policy_budget > 0) {
+    mcfg.cas_policy.fallback_budget =
+        static_cast<std::uint64_t>(opts.policy_budget);
+  }
+  if (opts.policy_nc_cost > 0) {
+    mcfg.cas_policy.nonconflict_cost =
+        static_cast<std::uint64_t>(opts.policy_nc_cost);
+  }
 }
 
 // Snapshots (and thus the shared-warm-snapshot fork path) are refused by

@@ -66,7 +66,17 @@ def sim_config():
     cache_schema = int(re.search(
         r"kSnapshotSchemaVersion = (\d+)",
         open("src/sim/serialize.hpp").read()).group(1))
+    # Contention-policy default (docs/architecture.md "Contention policy
+    # layer"): every timed leg except the dedicated policy sweep runs the
+    # default policy, so the baseline records which one that is. Read from
+    # ContentionPolicyParams' initializer — kFixed keeps the goldens
+    # byte-identical, and this record catches an accidental default flip.
+    cas_policy = re.search(
+        r"ContentionPolicyKind kind = ContentionPolicyKind::k(\w+)",
+        open("src/common/contention.hpp").read()).group(1)
+    cas_policy = re.sub(r"(?<!^)([A-Z])", r"-\1", cas_policy).lower()
     return {"interconnect_model": model,
+            "cas_policy_default": cas_policy,
             "link_occupancy": occupancy,
             "inv_order": "canonical" if canonical else "legacy",
             "check_invariants": invariants,
@@ -153,6 +163,38 @@ def run_shard_sweep():
         legs["serial"]["best_s"] / legs["mt4"]["best_s"], 2)
     return legs
 
+# Contention-policy leg: the delay-sweep ablation's opt-in policy
+# dimension, adaptive-backoff vs the fixed default at the paper's optimal
+# intra-txn delay (675 cycles). Timed like the figure drivers; the JSON
+# artifact additionally supplies the throughput comparison at the
+# highest-contention cell — the adaptive policy earning its keep (or not)
+# is part of the baseline record.
+POLICY_ARGS = ["--threads", "2,8,16,32", "--ops", "100", "--jobs", "1",
+               "--policies", "fixed,adaptive-backoff", "--snapshot-cache=off"]
+
+def run_policy_sweep():
+    exe = os.path.join(build, "bench", "ablation_delay_sweep")
+    samples = []
+    cells = []
+    for _ in range(runs):
+        with tempfile.NamedTemporaryFile(suffix=".json") as f:
+            t0 = time.monotonic()
+            run_checked([exe, *POLICY_ARGS, "--json", f.name])
+            samples.append(round(time.monotonic() - t0, 3))
+            cells = json.load(open(f.name))["cells"]
+    pol = [c for c in cells if "policy" in c]
+    top = max(c["threads"] for c in pol)
+    tput = {c["policy"]: c["throughput_mops"]
+            for c in pol if c["threads"] == top}
+    leg = {"args": " ".join(POLICY_ARGS), "runs_s": samples,
+           "best_s": min(samples), "top_cell_threads": top,
+           "top_cell_throughput_mops":
+               {k: round(v, 3) for k, v in tput.items()}}
+    if tput.get("fixed"):
+        leg["adaptive_backoff_vs_fixed"] = round(
+            tput.get("adaptive-backoff", 0.0) / tput["fixed"], 2)
+    return leg
+
 def run_cached_pair():
     # Warm-start-cache payoff (docs/performance.md "Warm-start cache"):
     # fig5 and fig6 timed cold (cache off), then twice against one fresh
@@ -215,6 +257,7 @@ report = {
     "sim_config": sim_config(),
     "figures": {d: run_timed(d) for d in FIGS},
     "snapshot_cache": run_cached_pair(),
+    "policy_sweep": run_policy_sweep(),
     "service_latency": run_service_leg(),
     "sharded_fig5_512c": run_shard_sweep(),
     "microbench": {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "benchsupport/json.hpp"
+#include "common/contention.hpp"
 #include "sim/stats.hpp"
 
 namespace sbq {
@@ -87,6 +88,22 @@ inline Json metrics_to_json(const sim::MetricsSnapshot& m) {
     for (std::uint64_t e : m.per_slice_events) per_slice.push_back(Json(e));
     parallel.set("per_slice_events", std::move(per_slice));
     out.set("parallel", std::move(parallel));
+  }
+  // Contention-policy block: gated on a non-fixed policy kind (like the
+  // fault block), so default fixed-policy artifacts stay byte-identical.
+  // Under a non-fixed policy, fallback_cas is carried here even without
+  // fault injection: adaptive-fallback can degrade on its own budget.
+  if (m.cas_policy_kind != 0) {
+    Json policy = Json::object();
+    policy.set("kind", Json(contention_policy_name(static_cast<
+                                ContentionPolicyKind>(m.cas_policy_kind))));
+    policy.set("txn_steps", Json(m.policy.txn_steps));
+    policy.set("budget_fallbacks", Json(m.policy.budget_fallbacks));
+    policy.set("degraded_fallbacks", Json(m.policy.degraded_fallbacks));
+    policy.set("intra_delay_cycles", Json(m.policy.intra_delay_cycles));
+    policy.set("post_delay_cycles", Json(m.policy.post_delay_cycles));
+    policy.set("fallback_cas", Json(m.htm.fallback_cas));
+    out.set("cas_policy", std::move(policy));
   }
   // Backpressure accounting: gated on the config caps, like the fault
   // block, so default runs serialize exactly as before.

@@ -129,6 +129,22 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
       opts.trace_path = next_value();
     } else if (std::strncmp(a, "--trace=", 8) == 0) {
       opts.trace_path = a + 8;
+    } else if (std::strcmp(a, "--cas-policy") == 0) {
+      opts.cas_policy = next_value();
+    } else if (std::strncmp(a, "--cas-policy=", 13) == 0) {
+      opts.cas_policy = a + 13;
+    } else if (std::strcmp(a, "--policy-seed") == 0) {
+      opts.policy_seed = std::strtoull(next_value(), nullptr, 10);
+    } else if (std::strcmp(a, "--policy-budget") == 0) {
+      opts.policy_budget = static_cast<int>(std::strtol(next_value(), nullptr, 10));
+      if (opts.policy_budget < 0) {
+        throw std::invalid_argument("--policy-budget needs a non-negative count");
+      }
+    } else if (std::strcmp(a, "--policy-nc-cost") == 0) {
+      opts.policy_nc_cost = static_cast<int>(std::strtol(next_value(), nullptr, 10));
+      if (opts.policy_nc_cost < 0) {
+        throw std::invalid_argument("--policy-nc-cost needs a non-negative cost");
+      }
     } else if (std::strcmp(a, "--fault-rate") == 0) {
       opts.fault_rate = std::strtod(next_value(), nullptr);
       if (opts.fault_rate < 0.0 || opts.fault_rate > 1.0) {

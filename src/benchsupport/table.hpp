@@ -95,6 +95,18 @@ struct BenchOptions {
   //                               identity path).
   std::string snapshot_cache;
   bool from_snapshot = false;
+  // TxCAS contention policy (sim drivers; see common/contention.hpp and
+  // docs/architecture.md "Contention policy layer"):
+  //   --cas-policy NAME   fixed (default) | adaptive-backoff |
+  //                       adaptive-fallback; empty means fixed AND keeps
+  //                       every artifact byte-identical to the goldens.
+  //   --policy-seed N     seed of the per-core policy jitter streams.
+  //   --policy-budget N   adaptive-fallback abort budget (0 = kind default).
+  //   --policy-nc-cost N  budget cost of one non-conflict abort (0 = default).
+  std::string cas_policy;
+  unsigned long long policy_seed = 1;
+  int policy_budget = 0;
+  int policy_nc_cost = 0;
   static BenchOptions parse(int argc, char** argv);
 
   // Worker threads for the sweep pool: 1 under --serial, --jobs N when

@@ -61,6 +61,31 @@ struct HtmCas {
   }
 };
 
+// Adaptive variants for native SBQ (see common/contention.hpp): the same
+// TxCAS with a non-fixed ContentionPolicy baked into the config. Usable
+// anywhere HtmCas is, e.g. sbq::Queue<T, Basket, HtmCas> with
+// `q.cas = adaptive_backoff_cas(seed)`.
+
+// Dice–Hendler–Mirsky failure-history delay scaling: intra-txn/post-abort
+// delays start below the fixed constants and double toward a cap while the
+// calling thread keeps aborting on conflicts.
+inline HtmCas adaptive_backoff_cas(std::uint64_t seed = 1) noexcept {
+  HtmCas c{};
+  c.config.policy.kind = ContentionPolicyKind::kAdaptiveBackoff;
+  c.config.policy.seed = seed;
+  return c;
+}
+
+// Brown-style abort-cause-aware fallback budget: non-conflict aborts spend
+// the retry budget faster than conflict aborts. Enables the shared
+// degradation default, which the plain native config keeps disabled.
+inline HtmCas adaptive_fallback_cas() noexcept {
+  HtmCas c{};
+  c.config.policy.kind = ContentionPolicyKind::kAdaptiveFallback;
+  c.config.max_nonconflict_aborts = kDefaultNonconflictAbortBudget;
+  return c;
+}
+
 static_assert(CasPolicy<NativeCas, void*>);
 static_assert(CasPolicy<DelayedCas, void*>);
 static_assert(CasPolicy<HtmCas, void*>);

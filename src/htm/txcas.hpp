@@ -28,6 +28,7 @@
 #include <cstdint>
 
 #include "common/backoff.hpp"
+#include "common/contention.hpp"
 #include "htm/htm.hpp"
 
 namespace sbq {
@@ -48,11 +49,26 @@ struct TxCasConfig {
   // plain-CAS fallback immediately. Persistent non-conflict aborts recur
   // (a capacity overflow is deterministic; an interrupt storm starves the
   // commit window), so burning the remaining attempt budget buys nothing.
-  // 0 (default) disables degradation — on hosts without RTM every abort
+  // The native default deliberately overrides the shared
+  // kDefaultNonconflictAbortBudget: on hosts without RTM every abort
   // reports as non-conflict, and the bounded retry loop IS the intended
-  // delayed-CAS behavior there.
-  std::uint32_t max_nonconflict_aborts = 0;
+  // delayed-CAS behavior there (see common/contention.hpp).
+  std::uint32_t max_nonconflict_aborts = kNativeNonconflictAbortOverride;
+  // Retry/delay policy (fixed by default; see common/contention.hpp for
+  // the adaptive alternatives).
+  ContentionPolicyParams policy{};
 };
+
+// Per-thread persistent contention history for native TxCAS (the DHM
+// failure level and jitter stream). The first TxCAS call on a thread pins
+// that thread's stream id; `seed` only matters for that first call.
+inline ContentionPolicy::State& native_contention_state(
+    std::uint64_t seed) noexcept {
+  static std::atomic<std::uint64_t> next_stream{0};
+  thread_local ContentionPolicy::State state = ContentionPolicy::seeded_state(
+      seed, next_stream.fetch_add(1, std::memory_order_relaxed));
+  return state;
+}
 
 // Explicit-abort code used by the value-mismatch self-abort.
 inline constexpr std::uint8_t kTxCasMismatchCode = 1;
@@ -62,10 +78,23 @@ class TxCas {
  public:
   explicit TxCas(TxCasConfig cfg = {}) noexcept : cfg_(cfg) {}
 
+  // The policy object this config resolves to — the exact construction the
+  // retry loop below uses. Exposed so the cross-backend differential test
+  // can drive the native decision logic directly.
+  static ContentionPolicy make_policy(const TxCasConfig& cfg) noexcept {
+    return ContentionPolicy(
+        cfg.policy, ContentionKnobs{cfg.intra_txn_delay, cfg.post_abort_delay,
+                                    cfg.max_attempts,
+                                    cfg.max_nonconflict_aborts});
+  }
+
   // CAS(target, expected, desired) with TxCAS failure scalability.
   bool operator()(std::atomic<T>& target, T expected, T desired) const noexcept {
-    std::uint32_t nonconflict_aborts = 0;
-    for (std::uint32_t attempt = 0; attempt < cfg_.max_attempts; ++attempt) {
+    ContentionPolicy policy = make_policy(cfg_);
+    ContentionPolicy::State& history = native_contention_state(cfg_.policy.seed);
+    policy.begin_call();
+    while (policy.next_step() == CasStep::kTxn) {
+      policy.note_attempt();
       const unsigned ret = htm::begin();
       if (htm::started(ret)) {
         // Nested transaction wraps the read+check+delay so that a conflict
@@ -74,11 +103,12 @@ class TxCas {
         if (htm::started(nested)) {
           const T value = target.load(std::memory_order_relaxed);
           if (value != expected) htm::abort_with(kTxCasMismatchCode);
-          spin_iterations(cfg_.intra_txn_delay);
+          spin_delay(policy.intra_delay(history));
           htm::end();
         }
         target.store(desired, std::memory_order_relaxed);
         htm::end();
+        policy.on_commit(history);
         return true;
       }
       // Aborted. Execution resumes here with the abort status in `ret`.
@@ -87,19 +117,18 @@ class TxCas {
       }
       if (!(htm::is_conflict(ret) && htm::is_nested(ret))) {
         // Either a non-conflict abort, or a conflict that tripped our write:
-        // retry immediately (delaying would only waste the commit window) —
-        // unless true non-conflict aborts have exhausted the degradation
-        // budget, in which case retrying is futile and we take the CAS.
-        if (!htm::is_conflict(ret) && !htm::is_explicit(ret) &&
-            cfg_.max_nonconflict_aborts != 0 &&
-            ++nonconflict_aborts >= cfg_.max_nonconflict_aborts) {
-          break;
-        }
+        // retry immediately (delaying would only waste the commit window).
+        // The policy decides when non-conflict aborts have exhausted the
+        // degradation budget, making further transactional retries futile.
+        const bool nonconflict = !htm::is_conflict(ret) && !htm::is_explicit(ret);
+        policy.on_abort(history, nonconflict ? CasAbort::kNonConflict
+                                             : CasAbort::kWriteConflict);
         continue;
       }
       // Conflict during the read step: someone's write is in flight. Wait
       // for their GetM to finish before reading, to avoid tripping them.
-      spin_iterations(cfg_.post_abort_delay);
+      policy.on_abort(history, CasAbort::kReadConflict);
+      spin_delay(policy.post_abort_delay(history));
       if (target.load(std::memory_order_acquire) != expected) return false;
     }
     // Wait-free fallback: a plain CAS always terminates.
@@ -111,6 +140,13 @@ class TxCas {
   const TxCasConfig& config() const noexcept { return cfg_; }
 
  private:
+  // Policy delays are 64-bit (sim cycles elsewhere); native spin counts
+  // stay within u32 but clamp defensively.
+  static void spin_delay(std::uint64_t iters) noexcept {
+    spin_iterations(iters > 0xffffffffULL ? 0xffffffffU
+                                          : static_cast<std::uint32_t>(iters));
+  }
+
   TxCasConfig cfg_;
 };
 

@@ -38,6 +38,20 @@ Core::Core(CoreId id, Engine& engine, Interconnect& net,
     fault_int_t_ = sat(cap + intr);
     fault_spur_t_ = sat(cap + intr + spur);
   }
+  // Per-core contention-policy stream, decorrelated by core id. Seeded
+  // unconditionally (cheap, deterministic) so switching the policy kind
+  // never perturbs any other stream.
+  txcas_op_.policy_state = ContentionPolicy::seeded_state(
+      cfg_.cas_policy.seed, static_cast<std::uint64_t>(id_));
+  // Pre-size the small request-path tables to their minimum capacity now.
+  // Both are bounded by concurrent in-flight requests (a handful), but a
+  // core whose first parked waiter lands mid-run would otherwise pay the
+  // table's lazy first rehash inside a measured phase — observed under
+  // adaptive contention policies, whose reshaped retry schedules can make
+  // a retry acquire overlap the same core's background abort-GetM for the
+  // first time phases after warm-up (sim_microbench zero-alloc gate).
+  pending_.reserve(1);
+  waiters_.reserve(1);
 }
 
 Core::LineState Core::line_state(Addr a) const {
@@ -47,7 +61,8 @@ Core::LineState Core::line_state(Addr a) const {
 
 Core::State Core::save_state() const {
   assert(quiescent() && "cannot snapshot a core with in-flight state");
-  return State{lines_, stats_, delay_jitter_state_, fault_rng_state_};
+  return State{lines_, stats_, delay_jitter_state_, fault_rng_state_,
+               txcas_op_.policy_state};
 }
 
 void Core::restore_state(const State& s) {
@@ -56,6 +71,7 @@ void Core::restore_state(const State& s) {
   stats_ = s.stats;
   delay_jitter_state_ = s.delay_jitter_state;
   fault_rng_state_ = s.fault_rng_state;
+  txcas_op_.policy_state = s.policy_state;
 }
 
 // ---------------------------------------------------------------------------
@@ -244,25 +260,25 @@ void Core::start_txcas(Addr a, Value expected, Value desired, TxCasConfig cfg,
   op->expected = expected;
   op->desired = desired;
   op->cfg = cfg;
-  op->attempt = 0;
-  op->nonconflict_aborts = 0;
+  // Re-arm the retry brain for this call: machine-wide policy params, this
+  // op's §4 knobs. The persistent policy_state is deliberately untouched.
+  op->policy = make_contention_policy(cfg_.cas_policy, cfg);
+  op->policy.begin_call();
   op->done = std::move(done);
   txcas_attempt(op);
 }
 
 void Core::txcas_attempt(TxCasOp* op) {
-  if (op->attempt >= op->cfg.max_attempts) {
-    txcas_fallback(op, /*degraded=*/false);
+  // The policy decides: retry transactionally, fall back on attempt-budget
+  // exhaustion, or degrade after persistent non-conflict aborts (capacity,
+  // interrupt, spurious — retrying those buys nothing).
+  const CasStep step = op->policy.next_step();
+  if (metrics_) metrics_->on_policy_step(id_, static_cast<int>(step));
+  if (step != CasStep::kTxn) {
+    txcas_fallback(op, /*degraded=*/step == CasStep::kFallbackDegraded);
     return;
   }
-  // Graceful degradation: persistent non-conflict aborts (capacity,
-  // interrupt, spurious) won't be fixed by retrying — take the plain CAS.
-  if (op->cfg.max_nonconflict_aborts > 0 &&
-      op->nonconflict_aborts >= op->cfg.max_nonconflict_aborts) {
-    txcas_fallback(op, /*degraded=*/true);
-    return;
-  }
-  ++op->attempt;
+  op->policy.note_attempt();
   ++stats_.txcas_attempts;
   if (metrics_) metrics_->on_txn_attempt(id_);
   txn_.active = true;
@@ -302,7 +318,8 @@ void Core::txcas_on_read_ready(TxCasOp* op, Addr a, std::uint64_t token) {
     ++stats_.txcas_fail;
     if (metrics_) {
       metrics_->on_txn_abort(id_, AbortCause::kExplicit);
-      metrics_->on_txcas_done(id_, op->attempt, false);
+      metrics_->on_txcas_done(id_, static_cast<int>(op->policy.attempts()),
+                              false);
     }
     txn_ = Txn{.token = txn_.token};
     txn_op_ = nullptr;
@@ -325,12 +342,18 @@ void Core::txcas_on_read_ready(TxCasOp* op, Addr a, std::uint64_t token) {
   // synchronized rounds in which every delay expires before the first
   // invalidation arrives, so every transaction reaches its write — a
   // lockstep artifact no real machine sustains.
+  // The policy supplies the delay base (== cfg.intra_txn_delay under the
+  // fixed policy; failure-history-scaled under adaptive-backoff). The
+  // schedule jitter keeps drawing from the core's own LCG stream either
+  // way, so switching policies never desynchronizes other draws.
+  const Time delay_base = op->policy.intra_delay(op->policy_state);
   delay_jitter_state_ = delay_jitter_state_ * 6364136223846793005ULL +
                         1442695040888963407ULL +
                         static_cast<std::uint64_t>(id_);
-  const Time jitter_range = op->cfg.intra_txn_delay / 2 + 16;
+  const Time jitter_range = delay_base / 2 + 16;
   const Time jitter = (delay_jitter_state_ >> 33) % jitter_range;
-  engine_.schedule(op->cfg.intra_txn_delay + jitter, [this, op, token] {
+  if (metrics_) metrics_->on_policy_delay(id_, /*intra=*/true, delay_base + jitter);
+  engine_.schedule(delay_base + jitter, [this, op, token] {
     if (!txn_.active || txn_.token != token) return;
     txcas_enter_write(op);
   });
@@ -350,7 +373,7 @@ void Core::txcas_on_read_ready(TxCasOp* op, Addr a, std::uint64_t token) {
       const FaultKind kind = draw < fault_cap_t_    ? FaultKind::kCapacity
                              : draw < fault_int_t_ ? FaultKind::kInterrupt
                                                    : FaultKind::kSpurious;
-      const Time window = op->cfg.intra_txn_delay + jitter;
+      const Time window = delay_base + jitter;
       const Time offset =
           1 + static_cast<Time>(z & 0xffffffffu) % (window == 0 ? 1 : window);
       engine_.schedule(offset, [this, kind, token] {
@@ -397,9 +420,11 @@ void Core::txcas_commit(TxCasOp* op) {
   // _xend: all transactional writes propagate to the cache.
   lines_.at(op->addr).value = op->desired;
   ++stats_.txcas_success;
+  op->policy.on_commit(op->policy_state);
   if (metrics_) {
     metrics_->on_txn_commit(id_);
-    metrics_->on_txcas_done(id_, op->attempt, true);
+    metrics_->on_txcas_done(id_, static_cast<int>(op->policy.attempts()),
+                            true);
   }
   txn_ = Txn{.token = txn_.token};
   txn_op_ = nullptr;
@@ -432,17 +457,31 @@ void Core::txcas_abort(int kind, AbortCause cause) {
   if (trace_ && trace_->enabled()) {
     trace_->record(engine_.now(), id_,
                    kind == 0 ? "txcas abort (nested)" : "txcas abort (tripped)",
-                   op->addr, op->attempt);
+                   op->addr, static_cast<std::int64_t>(op->policy.attempts()));
   }
+  // Feed the abort-cause taxonomy into the policy: injected causes are
+  // non-conflict (they spend the degradation budget), real conflicts split
+  // into read-phase vs write-phase (adaptive-fallback charges both the
+  // conflict cost; adaptive-backoff escalates its failure history).
+  const bool nonconflict = cause == AbortCause::kCapacity ||
+                           cause == AbortCause::kInterrupt ||
+                           cause == AbortCause::kSpurious;
+  op->policy.on_abort(op->policy_state,
+                      nonconflict ? CasAbort::kNonConflict
+                      : kind == 0 ? CasAbort::kReadConflict
+                                  : CasAbort::kWriteConflict);
   // The op has not completed (done not yet called), so the slot stays valid
   // until the scheduled retry/post-abort step runs.
   if (kind == 0) {
     ++stats_.nested_aborts;
     // Conflict during the read step: a writer's GetM is in flight. Delay so
     // our re-read does not trip it, then check whether the value changed
-    // (Algorithm 1 lines 19–20).
-    engine_.schedule(op->cfg.post_abort_delay,
-                     [this, op] { txcas_post_abort(op); });
+    // (Algorithm 1 lines 19–20). The delay length is the policy's call
+    // (== cfg.post_abort_delay under fixed; scaled + jittered from the
+    // serialized per-core stream under adaptive-backoff).
+    const Time post = op->policy.post_abort_delay(op->policy_state);
+    if (metrics_) metrics_->on_policy_delay(id_, /*intra=*/false, post);
+    engine_.schedule(post, [this, op] { txcas_post_abort(op); });
   } else {
     // Conflict after the nested transaction (we may be the tripped writer):
     // retry immediately (Algorithm 1 lines 16–18). The caller attributes
@@ -455,7 +494,10 @@ void Core::txcas_post_abort(TxCasOp* op) {
   start_load(op->addr, DoneValFn([this, op](Value v) {
     if (v != op->expected) {
       ++stats_.txcas_fail;
-      if (metrics_) metrics_->on_txcas_done(id_, op->attempt, false);
+      if (metrics_) {
+        metrics_->on_txcas_done(id_, static_cast<int>(op->policy.attempts()),
+                                false);
+      }
       auto done = std::move(op->done);
       done(false);
     } else {
@@ -484,7 +526,6 @@ void Core::deliver_injected_fault(FaultKind kind) {
       break;
   }
   TxCasOp* op = txn_op_;
-  if (op) ++op->nonconflict_aborts;
   if (trace_ && trace_->enabled() && op) {
     trace_->record(engine_.now(), id_, "txcas fault injected", op->addr,
                    static_cast<std::int64_t>(kind));
@@ -510,7 +551,10 @@ void Core::txcas_fallback(TxCasOp* op, bool degraded) {
     } else {
       ++stats_.txcas_fail;
     }
-    if (metrics_) metrics_->on_txcas_done(id_, op->attempt, ok != 0);
+    if (metrics_) {
+      metrics_->on_txcas_done(id_, static_cast<int>(op->policy.attempts()),
+                              ok != 0);
+    }
     auto done = std::move(op->done);
     done(ok != 0);
   }));

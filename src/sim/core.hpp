@@ -208,6 +208,9 @@ class Core {
     // Rate-based fault-injection PRNG (draws once per transactional
     // attempt); carried so forked repeats replay byte-identically.
     std::uint64_t fault_rng_state = 0;
+    // Persistent contention-policy history (adaptive policies draw delays
+    // from it in program order); carried for the same reason.
+    ContentionPolicy::State policy_state;
   };
   State save_state() const;
   void restore_state(const State& s);
@@ -256,11 +259,13 @@ class Core {
     Value expected = 0;
     Value desired = 0;
     TxCasConfig cfg;
-    int attempt = 0;
-    // Non-conflict aborts (injected capacity/interrupt/spurious) seen by
-    // this call; at cfg.max_nonconflict_aborts the call degrades to a
-    // plain CAS instead of retrying transactionally.
-    int nonconflict_aborts = 0;
+    // The retry brain (common/contention.hpp): per-call counters (attempt
+    // number, non-conflict aborts, fallback budget) live inside `policy`,
+    // re-armed by start_txcas; `policy_state` is the *persistent* per-core
+    // history (failure level, jitter stream) that survives across calls
+    // and rides through snapshot/fork via Core::State.
+    ContentionPolicy policy;
+    ContentionPolicy::State policy_state;
     DoneBoolFn done;
   };
   void txcas_attempt(TxCasOp* op);

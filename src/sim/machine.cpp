@@ -65,6 +65,14 @@ void add_counters(HtmCounters& a, const HtmCounters& b) {
   }
 }
 
+void add_counters(PolicyCounters& a, const PolicyCounters& b) {
+  a.txn_steps += b.txn_steps;
+  a.budget_fallbacks += b.budget_fallbacks;
+  a.degraded_fallbacks += b.degraded_fallbacks;
+  a.intra_delay_cycles += b.intra_delay_cycles;
+  a.post_delay_cycles += b.post_delay_cycles;
+}
+
 void add_counters(BasketCounters& a, const BasketCounters& b) {
   a.appends_won += b.appends_won;
   a.appends_lost += b.appends_lost;
@@ -439,6 +447,7 @@ MetricsSnapshot Machine::metrics() const {
   snap.machine_threads = cfg_.machine_threads;
   snap.fault_injection = cfg_.fault_plan.enabled;
   snap.backpressure = cfg_.link_queue_cap > 0 || cfg_.dir_queue_cap > 0;
+  snap.cas_policy_kind = static_cast<int>(cfg_.cas_policy.kind);
   for (const auto& d : dirs_) {
     snap.dir_bp_stalls += d->stats().bp_stalls;
     if (d->stats().queue_peak > snap.dir_queue_peak) {
@@ -450,6 +459,7 @@ MetricsSnapshot Machine::metrics() const {
       snap.protocol = stats_->protocol();
       snap.htm = stats_->htm();
       snap.basket = stats_->basket();
+      snap.policy = stats_->policy();
     }
     snap.messages = net_->messages_sent();
     snap.link_messages = net_->link_messages();
@@ -469,6 +479,7 @@ MetricsSnapshot Machine::metrics() const {
         add_counters(snap.protocol, sl.stats->protocol());
         add_counters(snap.htm, sl.stats->htm());
         add_counters(snap.basket, sl.stats->basket());
+        add_counters(snap.policy, sl.stats->policy());
       }
       snap.messages += sl.net->messages_sent();
       snap.link_messages += sl.net->link_messages();

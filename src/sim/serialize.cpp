@@ -242,11 +242,25 @@ struct SnapshotSerde {
            r.u64(c.fresh_allocs);
   }
 
+  static void encode_policy(Writer& w, const PolicyCounters& c) {
+    w.u64(c.txn_steps);
+    w.u64(c.budget_fallbacks);
+    w.u64(c.degraded_fallbacks);
+    w.u64(c.intra_delay_cycles);
+    w.u64(c.post_delay_cycles);
+  }
+  static bool decode_policy(Reader& r, PolicyCounters& c) {
+    return r.u64(c.txn_steps) && r.u64(c.budget_fallbacks) &&
+           r.u64(c.degraded_fallbacks) && r.u64(c.intra_delay_cycles) &&
+           r.u64(c.post_delay_cycles);
+  }
+
   static void encode_stats(Writer& w, const Stats& s) {
     w.b(s.track_lines_);
     encode_protocol(w, s.protocol_);
     encode_htm(w, s.htm_);
     encode_basket(w, s.basket_);
+    encode_policy(w, s.policy_);
     w.u64(s.per_core_protocol_.size());
     for (const auto& c : s.per_core_protocol_) encode_protocol(w, c);
     for (const auto& c : s.per_core_htm_) encode_htm(w, c);
@@ -262,6 +276,7 @@ struct SnapshotSerde {
     if (!decode_protocol(r, s.protocol_)) return false;
     if (!decode_htm(r, s.htm_)) return false;
     if (!decode_basket(r, s.basket_)) return false;
+    if (!decode_policy(r, s.policy_)) return false;
     std::uint64_t n;
     if (!r.u64(n)) return false;
     if (n != static_cast<std::uint64_t>(cores)) return false;
@@ -316,6 +331,16 @@ void encode_config(Writer& w, const MachineConfig& cfg) {
   w.u64(cfg.prewarm_event_nodes);
   w.u64(cfg.link_queue_cap);
   w.u64(cfg.dir_queue_cap);
+  // Contention policy: part of the canonical config bytes, so the policy
+  // kind and every tuning knob key machine_config_digest (and thus the
+  // snapshot cache) automatically.
+  w.u8(static_cast<std::uint8_t>(cfg.cas_policy.kind));
+  w.u64(cfg.cas_policy.seed);
+  w.u64(cfg.cas_policy.backoff_floor_shift);
+  w.u64(cfg.cas_policy.backoff_ceil_mult);
+  w.u64(cfg.cas_policy.fallback_budget);
+  w.u64(cfg.cas_policy.conflict_cost);
+  w.u64(cfg.cas_policy.nonconflict_cost);
 }
 
 bool decode_config(Reader& r, MachineConfig& cfg) {
@@ -361,7 +386,25 @@ bool decode_config(Reader& r, MachineConfig& cfg) {
   if (!(r.u64(frames) && r.u64(nodes))) return false;
   cfg.prewarm_frames = static_cast<std::size_t>(frames);
   cfg.prewarm_event_nodes = static_cast<std::size_t>(nodes);
-  return r.u64(cfg.link_queue_cap) && r.u64(cfg.dir_queue_cap);
+  if (!(r.u64(cfg.link_queue_cap) && r.u64(cfg.dir_queue_cap))) return false;
+  std::uint8_t policy_kind;
+  if (!r.u8(policy_kind)) return false;
+  // Unknown policy kinds are rejected, not misread: a blob from a future
+  // schema cannot silently decode into the wrong retry behavior.
+  if (policy_kind >= kContentionPolicyKindCount) return false;
+  cfg.cas_policy.kind = static_cast<ContentionPolicyKind>(policy_kind);
+  std::uint64_t floor_shift, ceil_mult, budget, ccost, nccost;
+  if (!(r.u64(cfg.cas_policy.seed) && r.u64(floor_shift) &&
+        r.u64(ceil_mult) && r.u64(budget) && r.u64(ccost) &&
+        r.u64(nccost))) {
+    return false;
+  }
+  cfg.cas_policy.backoff_floor_shift = static_cast<std::uint32_t>(floor_shift);
+  cfg.cas_policy.backoff_ceil_mult = static_cast<std::uint32_t>(ceil_mult);
+  cfg.cas_policy.fallback_budget = static_cast<std::uint32_t>(budget);
+  cfg.cas_policy.conflict_cost = static_cast<std::uint32_t>(ccost);
+  cfg.cas_policy.nonconflict_cost = static_cast<std::uint32_t>(nccost);
+  return true;
 }
 
 void encode_dir_line(Writer& w, const Directory::State& d) {
@@ -444,6 +487,8 @@ void encode_core(Writer& w, const Core::State& c) {
   encode_core_stats(w, c.stats);
   w.u64(c.delay_jitter_state);
   w.u64(c.fault_rng_state);
+  w.u64(c.policy_state.rng);
+  w.u64(c.policy_state.failure_level);
 }
 
 bool decode_core(Reader& r, Core::State& c) {
@@ -457,8 +502,14 @@ bool decode_core(Reader& r, Core::State& c) {
         line.state = static_cast<Core::LineState>(state);
         return rr.u64(line.value);
       });
-  return ok && decode_core_stats(r, c.stats) && r.u64(c.delay_jitter_state) &&
-         r.u64(c.fault_rng_state);
+  if (!(ok && decode_core_stats(r, c.stats) && r.u64(c.delay_jitter_state) &&
+        r.u64(c.fault_rng_state) && r.u64(c.policy_state.rng))) {
+    return false;
+  }
+  std::uint64_t level;
+  if (!r.u64(level)) return false;
+  c.policy_state.failure_level = static_cast<std::uint32_t>(level);
+  return true;
 }
 
 void encode_net(Writer& w, const Interconnect::State& s) {

@@ -116,6 +116,27 @@ struct BasketCounters {
   std::uint64_t fresh_allocs = 0;   // baskets initialized from scratch
 };
 
+// Contention-policy decision counters (common/contention.hpp), machine-wide.
+// Every TxCAS scheduling decision the policy makes is recorded here:
+//   txn_steps + budget_fallbacks + degraded_fallbacks == decisions taken,
+//   txn_steps == HtmCounters::attempts,
+//   budget_fallbacks == HtmCounters::fallbacks,
+//   degraded_fallbacks == HtmCounters::fallback_cas
+// (the conservation identities json_validate --policy-cells checks). Only
+// serialized when the machine runs a non-fixed policy, keeping default
+// artifacts byte-stable.
+struct PolicyCounters {
+  std::uint64_t txn_steps = 0;           // "retry transactionally" verdicts
+  std::uint64_t budget_fallbacks = 0;    // attempt/abort budget exhausted
+  std::uint64_t degraded_fallbacks = 0;  // non-conflict degradation taken
+  std::uint64_t intra_delay_cycles = 0;  // policy-issued intra-txn delay
+  std::uint64_t post_delay_cycles = 0;   // policy-issued post-abort delay
+
+  std::uint64_t decisions() const noexcept {
+    return txn_steps + budget_fallbacks + degraded_fallbacks;
+  }
+};
+
 // Fault-injection counters (all zero — and not serialized — unless the
 // machine ran with MachineConfig::fault_plan enabled).
 struct FaultCounters {
@@ -161,6 +182,10 @@ struct MetricsSnapshot {
   std::uint64_t link_queue_peak = 0;
   std::uint64_t dir_bp_stalls = 0;
   std::uint64_t dir_queue_peak = 0;
+  // Contention policy the machine ran (ContentionPolicyKind as int).
+  // Non-fixed kinds gate the extra "cas_policy" JSON block.
+  int cas_policy_kind = 0;
+  PolicyCounters policy;
 };
 
 class Stats {
@@ -191,6 +216,12 @@ class Stats {
   // the retry histogram; fallback-resolved calls land in the last bucket).
   void on_txcas_done(CoreId c, int attempts, bool success);
 
+  // ---- contention-policy hooks (called from the TxCAS state machine) ----
+  // One scheduling verdict (CasStep as int: 0 txn, 1 budget, 2 degraded).
+  void on_policy_step(CoreId c, int step);
+  // One policy-issued delay (`intra` selects the counter), in cycles.
+  void on_policy_delay(CoreId c, bool intra, Time cycles);
+
   // ---- basket hooks (called from the simulated SBQ) ----
   void on_basket_append(bool won);
   void on_basket_stale_tail();
@@ -208,6 +239,7 @@ class Stats {
     return per_core_htm_.at(static_cast<std::size_t>(c));
   }
   const BasketCounters& basket() const noexcept { return basket_; }
+  const PolicyCounters& policy() const noexcept { return policy_; }
   // Per-line counters (empty unless track_lines). line(a) returns a zero
   // block for lines that saw no events.
   const FlatMap<ProtocolCounters>& lines() const noexcept { return lines_; }
@@ -230,6 +262,7 @@ class Stats {
   ProtocolCounters protocol_;
   HtmCounters htm_;
   BasketCounters basket_;
+  PolicyCounters policy_;
   std::vector<ProtocolCounters> per_core_protocol_;
   std::vector<HtmCounters> per_core_htm_;
   FlatMap<ProtocolCounters> lines_;

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/contention.hpp"
+
 namespace sbq::sim {
 
 using Addr = std::uint64_t;   // word address; one word per cache line
@@ -172,6 +174,12 @@ struct MachineConfig {
   // times are unchanged, so any cap is golden-safe.
   std::uint64_t link_queue_cap = 0;
   std::uint64_t dir_queue_cap = 0;
+  // TxCAS contention policy (common/contention.hpp): fixed (default,
+  // byte-identical goldens), adaptive-backoff, or adaptive-fallback.
+  // Machine-wide so it participates in machine_config_digest and thus in
+  // snapshot/cache identity; the persistent per-core policy state lives in
+  // each core's TxCasOp slot and is serialized alongside it.
+  ContentionPolicyParams cas_policy;
 };
 
 // TxCAS tuning (§4.1, §4.2). Cycle values assume 0.4 ns/cycle, so the
@@ -187,8 +195,29 @@ struct TxCasConfig {
   // non-conflict aborts buys nothing: a capacity abort recurs
   // deterministically and interrupt storms starve the commit window. The
   // degraded path is counted separately (`fallback_cas`) from the
-  // attempt-budget fallback (`fallbacks`). 0 disables degradation.
-  int max_nonconflict_aborts = 8;
+  // attempt-budget fallback (`fallbacks`). 0 disables degradation. The
+  // default is the shared cross-backend constant (common/contention.hpp);
+  // the native backend documents its deliberate 0 override there.
+  int max_nonconflict_aborts =
+      static_cast<int>(kDefaultNonconflictAbortBudget);
 };
+
+// The policy object a (machine policy params, per-op TxCasConfig) pair
+// resolves to — the exact construction Core::start_txcas uses. Exposed so
+// the cross-backend differential test can drive the sim's decision logic
+// directly against the native one.
+inline ContentionPolicy make_contention_policy(
+    const ContentionPolicyParams& params, const TxCasConfig& cfg) noexcept {
+  return ContentionPolicy(
+      params,
+      ContentionKnobs{cfg.intra_txn_delay, cfg.post_abort_delay,
+                      static_cast<std::uint32_t>(cfg.max_attempts < 0
+                                                     ? 0
+                                                     : cfg.max_attempts),
+                      static_cast<std::uint32_t>(
+                          cfg.max_nonconflict_aborts < 0
+                              ? 0
+                              : cfg.max_nonconflict_aborts)});
+}
 
 }  // namespace sbq::sim

@@ -185,6 +185,64 @@ TEST(SnapshotSerdeReject, ForeignKey) {
   EXPECT_TRUE(sim::decode_snapshot_blob(blob, kBlobKey, snap, words));
 }
 
+// Contention-policy snapshot coverage (docs/architecture.md "Contention
+// policy layer"): the per-core policy State (jitter stream position +
+// failure level) rides in every snapshot, so adaptive-policy forks must
+// replay byte-identically; the config digest keys the policy params (stale
+// cache entries can't cross policies); and a blob claiming an unknown
+// policy kind is refused instead of misinterpreted.
+TEST(SnapshotSerdePolicy, AdaptiveBackoffRoundTripMatchesColdStart) {
+  sim::MachineConfig mcfg;
+  mcfg.cores = 3;
+  mcfg.cas_policy.kind = ContentionPolicyKind::kAdaptiveBackoff;
+  mcfg.cas_policy.seed = 17;
+  const WorkloadSpec spec = consumer_only_spec(5);
+  expect_identical(run_via_serde(QueueKind::kSbqHtm, mcfg, spec),
+                   run_queue_workload(QueueKind::kSbqHtm, mcfg, spec));
+}
+
+TEST(SnapshotSerdePolicy, AdaptiveFallbackRoundTripMatchesColdStart) {
+  sim::MachineConfig mcfg;
+  mcfg.cores = 3;
+  mcfg.cas_policy.kind = ContentionPolicyKind::kAdaptiveFallback;
+  const WorkloadSpec spec = consumer_only_spec(5);
+  expect_identical(run_via_serde(QueueKind::kSbqHtm, mcfg, spec),
+                   run_queue_workload(QueueKind::kSbqHtm, mcfg, spec));
+}
+
+TEST(SnapshotSerdePolicy, DigestKeysPolicyParams) {
+  sim::MachineConfig base;
+  base.cores = 3;
+  const std::uint64_t d0 = sim::machine_config_digest(base);
+
+  sim::MachineConfig kind = base;
+  kind.cas_policy.kind = ContentionPolicyKind::kAdaptiveBackoff;
+  EXPECT_NE(sim::machine_config_digest(kind), d0);
+
+  sim::MachineConfig seed = kind;
+  seed.cas_policy.seed = 2;
+  EXPECT_NE(sim::machine_config_digest(seed), sim::machine_config_digest(kind));
+
+  sim::MachineConfig budget = base;
+  budget.cas_policy.kind = ContentionPolicyKind::kAdaptiveFallback;
+  budget.cas_policy.fallback_budget = 32;
+  EXPECT_NE(sim::machine_config_digest(budget), d0);
+}
+
+TEST(SnapshotSerdePolicy, UnknownPolicyKindRejected) {
+  sim::MachineConfig mcfg;
+  mcfg.cores = 2;
+  mcfg.cas_policy.kind =
+      static_cast<ContentionPolicyKind>(kContentionPolicyKindCount);
+  sim::Machine m(mcfg);
+  const std::vector<std::uint8_t> blob =
+      sim::encode_snapshot_blob(m.snapshot(), {}, kBlobKey);
+  ASSERT_FALSE(blob.empty());
+  sim::MachineSnapshot snap;
+  std::vector<std::uint64_t> words;
+  EXPECT_FALSE(sim::decode_snapshot_blob(blob, kBlobKey, snap, words));
+}
+
 TEST(SnapshotSerdeReject, HostWordsPastEndThrow) {
   const std::uint64_t w[2] = {1, 2};
   const simq::HostWords hw{w, 2};
