@@ -149,5 +149,21 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (!opts.record_ops.empty()) {
+    // Recorded cell: same mid-sweep rate as the traced cell, so a recorded
+    // fault-injected schedule can be replayed and bisected (docs/replay.md).
+    auto [mcfg, spec] = make(0.1);
+    mcfg.cores = threads.front();
+    spec.producers = threads.front();
+    if (!write_recorded_cell(opts.record_ops, QueueKind::kSbqHtm, mcfg, spec)) {
+      return 1;
+    }
+  }
+  if (!opts.replay_ops.empty()) {
+    auto [mcfg, spec] = make(0.1);
+    mcfg.cores = threads.front();
+    (void)spec;
+    if (!replay_cell_from_options(opts, mcfg)) return 1;
+  }
   return 0;
 }

@@ -16,6 +16,7 @@
 // the post-abort delay and value re-check that follow a loser's abort are
 // TxCAS bookkeeping, not coherence serialization.
 #include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -88,7 +89,7 @@ Round run_round(int cores, bool htm, const std::string& trace_path = {}) {
     std::vector<Time> resolved(static_cast<std::size_t>(cores), Time{0});
     for (const auto& e : m.trace().events()) {
       if (e.addr != x || e.node < 0 || e.node >= cores) continue;
-      if (e.what.rfind("txcas", 0) != 0) continue;
+      if (e.is_send || std::strncmp(e.what, "txcas", 5) != 0) continue;
       auto& slot = resolved[static_cast<std::size_t>(e.node)];
       if (slot == 0) slot = e.time;
     }

@@ -97,5 +97,16 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (!opts.record_ops.empty() && !threads.empty()) {
+    const auto [mcfg, spec] = make(threads.front(), 0);
+    if (!write_recorded_cell(opts.record_ops, queues.front(), mcfg, spec)) {
+      return 1;
+    }
+  }
+  if (!opts.replay_ops.empty() && !threads.empty()) {
+    const auto [mcfg, spec] = make(threads.front(), 0);
+    (void)spec;
+    if (!replay_cell_from_options(opts, mcfg)) return 1;
+  }
   return 0;
 }

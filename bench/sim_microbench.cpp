@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <new>
@@ -242,6 +243,27 @@ int main(int argc, char** argv) {
         "dir_slices", Json(static_cast<std::uint64_t>(mcfg.dir_slices)));
   }
 
+  // --trace keeps the event ring ON through the measured phases. TraceEvent
+  // stores interned literals (no per-event strings) and the ring is reserved
+  // to capacity at construction, so recording must not cost a single
+  // steady-phase allocation (perf_sim_alloc_gate_traced in
+  // bench/CMakeLists.txt). The ring's JSONL is written after the phases.
+  if (!opts.trace_path.empty()) {
+    if (opts.machine_threads > 1) {
+      std::cerr << "sim_microbench: --trace requires the serial engine "
+                   "(tracing needs the single global event order)\n";
+      return 1;
+    }
+    if (opts.from_snapshot) {
+      std::cerr << "sim_microbench: --trace and --from-snapshot are "
+                   "mutually exclusive (the trace ring is debug state and "
+                   "is not captured by snapshots)\n";
+      return 1;
+    }
+    mcfg.record_trace = true;
+    mcfg.trace_capacity = 4096;
+  }
+
   sim::Machine m(mcfg);
   simq::SimSbq::Config qcfg;
   qcfg.enqueuers = producers;
@@ -353,8 +375,14 @@ int main(int argc, char** argv) {
     if (!report.write(opts.json_path)) return 1;
   }
   if (!opts.trace_path.empty()) {
-    std::cerr << "sim_microbench: --trace ignored (tracing would allocate "
-                 "inside the measured phases)\n";
+    std::ofstream out(opts.trace_path);
+    if (out) {
+      mp->trace().write_jsonl(out);
+    } else {
+      std::cerr << "--trace: cannot open " << opts.trace_path
+                << " for writing\n";
+      return 1;
+    }
   }
   if (!steady_clean) {
     std::cerr << "sim_microbench: FAIL — steady phase allocated on the heap "

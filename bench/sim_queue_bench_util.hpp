@@ -27,6 +27,8 @@
 #include "benchsupport/sim_workload.hpp"
 #include "benchsupport/snapshot_cache.hpp"
 #include "benchsupport/table.hpp"
+#include "replay/op_trace.hpp"
+#include "replay/sim_replay.hpp"
 #include "sim/serialize.hpp"
 #include "simqueue/sim_baskets_queue.hpp"
 #include "simqueue/sim_cc_queue.hpp"
@@ -138,6 +140,16 @@ inline void apply_machine_options(sim::MachineConfig& mcfg,
 // silently fall back to fixed.
 inline void apply_cas_policy_options(sim::MachineConfig& mcfg,
                                      const BenchOptions& opts) {
+  if (!opts.policy_decay.empty()) {
+    if (opts.policy_decay == "linear") {
+      mcfg.cas_policy.commit_decay = ContentionPolicyParams::kCommitDecayLinear;
+    } else if (opts.policy_decay == "half-life") {
+      mcfg.cas_policy.commit_decay =
+          ContentionPolicyParams::kCommitDecayHalfLife;
+    } else {
+      throw std::invalid_argument("--policy-decay needs linear or half-life");
+    }
+  }
   if (opts.cas_policy.empty()) return;
   ContentionPolicyKind kind;
   if (!contention_policy_from_name(opts.cas_policy.c_str(), kind)) {
@@ -676,6 +688,115 @@ inline void add_row_cells(BenchReport& report, std::size_t row, int threads,
       report.add_cell(queue_cell_json(threads, queues[q], static_cast<int>(r),
                                       res.at(row, q, r), ns_per_cycle));
     }
+  }
+}
+
+// --record-ops: re-run one representative cell with op recording enabled
+// and write the versioned trace to `path` (docs/replay.md). Like --trace,
+// the recorded re-run is a one-off outside the sweep: recording needs the
+// single global event order only the serial engine produces, and the
+// host-side log append is schedule-invisible, so the recorded run's
+// metrics equal the plain cell's. Returns false on I/O failure.
+inline bool write_recorded_cell(const std::string& path, QueueKind kind,
+                                sim::MachineConfig mcfg,
+                                const WorkloadSpec& spec) {
+  if (path.empty()) return true;
+  mcfg.machine_threads = 1;
+  replay::OpTrace trace;
+  trace.source = replay::TraceSource::kSim;
+  trace.queue = queue_kind_name(kind);
+  trace.workload = static_cast<std::uint8_t>(spec.kind);
+  trace.producers = static_cast<std::uint32_t>(spec.producers);
+  trace.consumers = static_cast<std::uint32_t>(spec.consumers);
+  trace.ops_per_thread = spec.ops_per_thread;
+  trace.prefill = spec.prefill;
+  trace.seed = spec.seed;
+  trace.prefill_seed = spec.prefill_seed;
+  trace.basket_capacity = static_cast<std::uint32_t>(spec.basket_capacity);
+  sim::Machine m(mcfg);
+  with_queue(kind, m, spec, [&](auto& q, int offset) {
+    return replay::run_recorded_workload(m, q, trace, offset);
+  });
+  if (!replay::write_op_trace_file(path, trace)) {
+    std::cerr << "--record-ops: cannot write " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
+// Rebuild the WorkloadSpec a trace header describes (native traces map to
+// the mixed shape: every thread is both a producer and a consumer).
+inline WorkloadSpec spec_from_trace(const replay::OpTrace& trace) {
+  WorkloadSpec spec;
+  spec.kind = static_cast<Workload>(trace.workload);
+  spec.producers = static_cast<int>(trace.producers);
+  spec.consumers = static_cast<int>(trace.consumers);
+  spec.ops_per_thread = trace.ops_per_thread;
+  spec.prefill = trace.prefill;
+  spec.seed = trace.seed;
+  spec.prefill_seed = trace.prefill_seed;
+  spec.basket_capacity = static_cast<int>(trace.basket_capacity);
+  return spec;
+}
+
+// Core count a replayed spec needs: producer/consumer cores for sim traces
+// (mixed pins consumers at cores/2), one core per native thread.
+inline int replay_min_cores(const WorkloadSpec& spec) {
+  switch (spec.kind) {
+    case Workload::kProducerOnly:
+      return spec.producers;
+    case Workload::kConsumerOnly:
+      return std::max(spec.producers, spec.consumers);
+    case Workload::kMixed:
+      return 2 * std::max(spec.producers, spec.consumers);
+  }
+  throw std::logic_error("bad workload");
+}
+
+struct ReplaySummary {
+  replay::ReplayOutcome outcome;
+  std::uint64_t trace_records = 0;
+};
+
+// --replay-ops: feed a recorded trace back as a sim workload under `mcfg`
+// (cores bumped to the trace's need, serial engine forced). The queue kind
+// and workload shape come from the trace header, the machine model from
+// the driver's flags — that is the point: the same logical history under
+// any MachineConfig.
+inline ReplaySummary run_replay_file(const std::string& path,
+                                     sim::MachineConfig mcfg) {
+  replay::OpTrace trace;
+  if (!replay::read_op_trace_file(path, trace)) {
+    throw std::invalid_argument("--replay-ops: cannot decode " + path);
+  }
+  const QueueKind kind = queue_kind_from_name(trace.queue);
+  const WorkloadSpec spec = spec_from_trace(trace);
+  mcfg.machine_threads = 1;
+  mcfg.cores = std::max(mcfg.cores, replay_min_cores(spec));
+  ReplaySummary summary;
+  summary.trace_records = trace.records.size();
+  sim::Machine m(mcfg);
+  summary.outcome = with_queue(kind, m, spec, [&](auto& q, int offset) {
+    return replay::replay_trace(m, q, trace, offset);
+  });
+  return summary;
+}
+
+// Shared driver tail for --replay-ops: run, print a deterministic one-line
+// summary, return false on error (drivers exit 1).
+inline bool replay_cell_from_options(const BenchOptions& opts,
+                                     sim::MachineConfig mcfg) {
+  if (opts.replay_ops.empty()) return true;
+  try {
+    const ReplaySummary s = run_replay_file(opts.replay_ops, mcfg);
+    std::cout << "replay: " << s.trace_records << " trace records, "
+              << s.outcome.run.enq_ops << " enqueues, "
+              << s.outcome.run.deq_ops << " dequeues replayed, "
+              << s.outcome.value_mismatches << " value mismatches\n";
+    return true;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return false;
   }
 }
 

@@ -40,6 +40,19 @@ if ! diff -u "$tmpdir/a.json" "$tmpdir/b.json"; then
   fail=1
 fi
 
+# On a mismatch, pre-localize the first divergent interconnect message with
+# the bisector (docs/replay.md) if it was built next to the driver.
+# Best-effort: the diff above is the authoritative failure.
+if [ "$fail" -ne 0 ]; then
+  divergence=$(dirname "$bin")/../tools/sbq_divergence
+  if [ -x "$divergence" ]; then
+    echo "check_fault_determinism: bisecting the two runs' schedules..." >&2
+    "$divergence" --queue SBQ-HTM --workload prod --threads 2 --ops 20 \
+      --a-fault-rate 0.1 --b-fault-rate 0.1 \
+      --a-fault-seed 7 --b-fault-seed 7 >&2 || true
+  fi
+fi
+
 # At least one swept cell at a nonzero injection rate must have degraded a
 # TxCAS to a plain CAS — otherwise the sweep is not exercising the fallback.
 if ! grep -Eq '"fallback_cas_fraction": (0\.[0-9]*[1-9]|1)' "$tmpdir/a.json"; then

@@ -133,6 +133,18 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
       opts.cas_policy = next_value();
     } else if (std::strncmp(a, "--cas-policy=", 13) == 0) {
       opts.cas_policy = a + 13;
+    } else if (std::strcmp(a, "--policy-decay") == 0) {
+      opts.policy_decay = next_value();
+    } else if (std::strncmp(a, "--policy-decay=", 15) == 0) {
+      opts.policy_decay = a + 15;
+    } else if (std::strcmp(a, "--record-ops") == 0) {
+      opts.record_ops = next_value();
+    } else if (std::strncmp(a, "--record-ops=", 13) == 0) {
+      opts.record_ops = a + 13;
+    } else if (std::strcmp(a, "--replay-ops") == 0) {
+      opts.replay_ops = next_value();
+    } else if (std::strncmp(a, "--replay-ops=", 13) == 0) {
+      opts.replay_ops = a + 13;
     } else if (std::strcmp(a, "--policy-seed") == 0) {
       opts.policy_seed = std::strtoull(next_value(), nullptr, 10);
     } else if (std::strcmp(a, "--policy-budget") == 0) {

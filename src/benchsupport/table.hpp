@@ -107,6 +107,20 @@ struct BenchOptions {
   unsigned long long policy_seed = 1;
   int policy_budget = 0;
   int policy_nc_cost = 0;
+  //   --policy-decay MODE adaptive-backoff failure-level decay on commit:
+  //                       linear (default, level - 1) | half-life
+  //                       (level / 2). Empty keeps the schedule-identical
+  //                       linear default.
+  std::string policy_decay;
+  // Op-level trace record/replay (docs/replay.md):
+  //   --record-ops FILE  re-run one representative cell with op recording
+  //                      and write the versioned trace to FILE.
+  //   --replay-ops FILE  feed a recorded trace back as a sim workload under
+  //                      this driver's machine flags.
+  // Both accept the --opt=FILE form; both empty by default so every
+  // artifact stays byte-identical to the goldens.
+  std::string record_ops;
+  std::string replay_ops;
   static BenchOptions parse(int argc, char** argv);
 
   // Worker threads for the sweep pool: 1 under --serial, --jobs N when

@@ -118,6 +118,15 @@ struct ContentionPolicyParams {
   std::uint32_t conflict_cost = 1;
   std::uint32_t nonconflict_cost = 8;
 
+  // adaptive-backoff hysteresis: how the failure level decays on commit.
+  // 0 = linear (level - 1, the original DHM step), 1 = half-life
+  // (level / 2 — a thread that just won under heavy contention sheds its
+  // pessimism geometrically instead of one rung per commit). The default
+  // keeps the golden schedules byte-identical.
+  std::uint8_t commit_decay = kCommitDecayLinear;
+  static constexpr std::uint8_t kCommitDecayLinear = 0;
+  static constexpr std::uint8_t kCommitDecayHalfLife = 1;
+
   friend bool operator==(const ContentionPolicyParams& a,
                          const ContentionPolicyParams& b) noexcept {
     return a.kind == b.kind && a.seed == b.seed &&
@@ -125,7 +134,8 @@ struct ContentionPolicyParams {
            a.backoff_ceil_mult == b.backoff_ceil_mult &&
            a.fallback_budget == b.fallback_budget &&
            a.conflict_cost == b.conflict_cost &&
-           a.nonconflict_cost == b.nonconflict_cost;
+           a.nonconflict_cost == b.nonconflict_cost &&
+           a.commit_decay == b.commit_decay;
   }
 };
 
@@ -252,9 +262,15 @@ class ContentionPolicy {
     if (!nonconflict && s.failure_level < kMaxFailureLevel) ++s.failure_level;
   }
 
-  // Record a transactional commit (decays the failure history).
+  // Record a transactional commit (decays the failure history per
+  // params.commit_decay — the ROADMAP "policy hysteresis" knob; the decay
+  // schedules are pinned by contention_policy_test).
   void on_commit(State& s) const noexcept {
-    if (s.failure_level > 0) --s.failure_level;
+    if (params_.commit_decay == ContentionPolicyParams::kCommitDecayHalfLife) {
+      s.failure_level /= 2;
+    } else if (s.failure_level > 0) {
+      --s.failure_level;
+    }
   }
 
   // Effective adaptive-fallback budget (0 in params derives max_attempts).

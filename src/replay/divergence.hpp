@@ -1,0 +1,77 @@
+// Differential divergence bisection (docs/replay.md).
+//
+// Runs one workload twice — same logical work, two machine configurations —
+// and localizes the FIRST interconnect message where the two schedules
+// part ways, as a (virtual time, global message seq) coordinate plus a
+// DebugRing-style dump of the messages leading up to it on each side.
+//
+// Two passes keep memory bounded on multi-million-message runs:
+//
+//   1. Digest pass: each side records one cumulative FNV-1a digest per
+//      `window` messages (a per-window engine dispatch-log digest, with the
+//      window-end virtual time as a periodic machine-state fingerprint).
+//      The first divergent window is found by binary search over the
+//      digest arrays — cumulative digests are monotone-divergent: once the
+//      streams differ, they never re-agree (modulo a 2^-64 collision).
+//   2. Capture pass: both sides re-run, recording raw messages only around
+//      the divergent window; a linear scan pins the exact first divergent
+//      seq and the ring context before it.
+//
+// Both passes rely on runs being deterministic functions of their config —
+// which is exactly the property this tool exists to audit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/interconnect.hpp"
+#include "sim/message.hpp"
+#include "sim/types.hpp"
+
+namespace sbq::replay {
+
+struct SendEvent {
+  sim::Time time = 0;
+  sim::CoreId src = -1;
+  sim::CoreId dst = -1;
+  sim::MsgType type = sim::MsgType::kGetS;
+  sim::Addr addr = 0;
+  sim::Value value = 0;
+
+  bool operator==(const SendEvent& o) const {
+    return time == o.time && src == o.src && dst == o.dst && type == o.type &&
+           addr == o.addr && value == o.value;
+  }
+};
+
+struct DivergenceReport {
+  bool diverged = false;
+  // First divergent message: global send index (0-based) and each side's
+  // virtual time at that index. When one stream is a strict prefix of the
+  // other, seq is the shorter stream's length and `prefix_only` is set.
+  std::uint64_t seq = 0;
+  bool prefix_only = false;
+  SendEvent a, b;  // the messages at `seq` (absent side left default)
+  std::uint64_t total_a = 0, total_b = 0;
+  // DebugRing-format dumps of up to 256 messages preceding (and including)
+  // the divergence on each side.
+  std::string context_a, context_b;
+};
+
+// A side: construct the machine, attach the observer via
+// Interconnect::set_send_observer BEFORE building the queue, run the whole
+// workload. Called up to twice per side (digest pass + capture pass), so it
+// must be deterministic and re-runnable.
+using ObservedRunFn =
+    std::function<void(sim::Interconnect::SendObserverFn, void*)>;
+
+DivergenceReport find_divergence(const ObservedRunFn& run_a,
+                                 const ObservedRunFn& run_b,
+                                 std::uint64_t window = 1024);
+
+// Render the report for humans (deterministic text; used by
+// tools/sbq_divergence and scripts/check_fault_determinism.sh).
+std::string format_divergence(const DivergenceReport& report);
+
+}  // namespace sbq::replay

@@ -1,0 +1,178 @@
+#include "replay/op_trace.hpp"
+
+#include <cstdio>
+#include <limits>
+
+namespace sbq::replay {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(const std::uint8_t* p, std::size_t n) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+struct Writer {
+  std::vector<std::uint8_t> buf;
+
+  void u8(std::uint8_t v) { buf.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf.insert(buf.end(), s.begin(), s.end());
+  }
+};
+
+// Bounds-checked little-endian reader: every accessor returns false instead
+// of reading past the end, so truncated blobs fail cleanly.
+struct Reader {
+  const std::uint8_t* p;
+  std::size_t n;
+  std::size_t pos = 0;
+
+  bool u8(std::uint8_t& v) {
+    if (pos + 1 > n) return false;
+    v = p[pos++];
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    if (pos + 4 > n) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[pos++]} << (8 * i);
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    if (pos + 8 > n) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[pos++]} << (8 * i);
+    return true;
+  }
+  bool str(std::string& s) {
+    std::uint32_t len;
+    if (!u32(len)) return false;
+    if (len > 256 || pos + len > n) return false;  // queue names are short
+    s.assign(reinterpret_cast<const char*>(p + pos), len);
+    pos += len;
+    return true;
+  }
+};
+
+// A record costs at least this many encoded bytes; a count claiming more
+// entries than could fit in the remaining bytes is corrupt — reject before
+// allocating for it.
+constexpr std::size_t kRecordBytes = 4 + 1 + 8 + 8 + 8 + 8;
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_op_trace(const OpTrace& trace) {
+  Writer w;
+  w.u32(kOpTraceMagic);
+  w.u32(kOpTraceFormatVersion);
+  w.u8(static_cast<std::uint8_t>(trace.source));
+  w.str(trace.queue);
+  w.u8(trace.workload);
+  w.u32(trace.producers);
+  w.u32(trace.consumers);
+  w.u64(trace.ops_per_thread);
+  w.u64(trace.prefill);
+  w.u64(trace.seed);
+  w.u64(trace.prefill_seed);
+  w.u32(trace.basket_capacity);
+  w.u64(static_cast<std::uint64_t>(trace.records.size()));
+  for (const OpRecord& r : trace.records) {
+    w.u32(static_cast<std::uint32_t>(r.thread));
+    w.u8(r.op);
+    w.u64(r.value);
+    w.u64(r.invoke_seq);
+    w.u64(r.response_seq);
+    w.u64(r.result);
+  }
+  w.u64(fnv1a(w.buf.data(), w.buf.size()));
+  return std::move(w.buf);
+}
+
+bool decode_op_trace(const std::vector<std::uint8_t>& bytes, OpTrace& out) {
+  if (bytes.size() < 8) return false;
+  Reader r{bytes.data(), bytes.size() - 8};
+  // Verify the trailing checksum over everything that precedes it first:
+  // any bit flip anywhere fails here, before field-level parsing.
+  std::uint64_t want = 0;
+  {
+    Reader tail{bytes.data(), bytes.size()};
+    tail.pos = bytes.size() - 8;
+    if (!tail.u64(want)) return false;
+  }
+  if (fnv1a(bytes.data(), bytes.size() - 8) != want) return false;
+
+  std::uint32_t magic, version;
+  if (!r.u32(magic) || magic != kOpTraceMagic) return false;
+  if (!r.u32(version) || version != kOpTraceFormatVersion) return false;
+
+  OpTrace t;
+  std::uint8_t source;
+  if (!r.u8(source) || source > 1) return false;
+  t.source = static_cast<TraceSource>(source);
+  if (!r.str(t.queue)) return false;
+  if (!r.u8(t.workload) || t.workload > 2) return false;
+  if (!r.u32(t.producers) || !r.u32(t.consumers)) return false;
+  if (!r.u64(t.ops_per_thread) || !r.u64(t.prefill)) return false;
+  if (!r.u64(t.seed) || !r.u64(t.prefill_seed)) return false;
+  if (!r.u32(t.basket_capacity)) return false;
+
+  std::uint64_t count;
+  if (!r.u64(count)) return false;
+  if (count > (r.n - r.pos) / kRecordBytes) return false;
+  t.records.resize(static_cast<std::size_t>(count));
+  for (OpRecord& rec : t.records) {
+    std::uint32_t thread;
+    if (!r.u32(thread)) return false;
+    rec.thread = static_cast<std::int32_t>(thread);
+    if (!r.u8(rec.op) || rec.op > kOpDequeue) return false;
+    if (!r.u64(rec.value) || !r.u64(rec.invoke_seq)) return false;
+    if (!r.u64(rec.response_seq) || !r.u64(rec.result)) return false;
+  }
+  if (r.pos != r.n) return false;  // trailing garbage before the checksum
+  out = std::move(t);
+  return true;
+}
+
+bool write_op_trace_file(const std::string& path, const OpTrace& trace) {
+  const std::vector<std::uint8_t> bytes = encode_op_trace(trace);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+bool read_op_trace_file(const std::string& path, OpTrace& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return read_ok && decode_op_trace(bytes, out);
+}
+
+}  // namespace sbq::replay

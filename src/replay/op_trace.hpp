@@ -1,0 +1,73 @@
+// Versioned, checksummed op-level trace format (docs/replay.md).
+//
+// One trace = one queue run: a header describing the workload shape (queue
+// kind, producer/consumer counts, ops per thread, seeds) plus a flat list
+// of OpRecord entries capturing every enqueue/dequeue with its invocation
+// and response order. Two sources share the format:
+//
+//   kSim    — recorded from a serial simulated run; invoke_seq/response_seq
+//             are exact virtual times, so the record order is the
+//             deterministic schedule itself.
+//   kNative — recorded from real host threads (bench/native_queues
+//             --record-ops); invoke_seq/response_seq are tickets from one
+//             global atomic counter, giving a real-time-consistent total
+//             order of invocations and responses.
+//
+// The codec mirrors src/sim/serialize.cpp discipline: little-endian
+// fixed-width fields, an FNV-1a64 checksum over everything that precedes
+// it, and a decoder that NEVER throws — truncation, bit flips, foreign
+// magic, stale versions, and trailing garbage all return false.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sbq::replay {
+
+// "SBQO" little-endian; distinct from the snapshot magic ("SBQ1").
+inline constexpr std::uint32_t kOpTraceMagic = 0x4f514253;
+// Bump on ANY change to the encoded layout.
+inline constexpr std::uint32_t kOpTraceFormatVersion = 1;
+
+enum class TraceSource : std::uint8_t { kSim = 0, kNative = 1 };
+
+inline constexpr std::uint8_t kOpEnqueue = 0;
+inline constexpr std::uint8_t kOpDequeue = 1;
+
+struct OpRecord {
+  std::int32_t thread = 0;       // global thread index (producers first)
+  std::uint8_t op = kOpEnqueue;
+  std::uint64_t value = 0;       // enq: value enqueued; deq: 0
+  std::uint64_t invoke_seq = 0;  // sim: virtual time; native: global ticket
+  std::uint64_t response_seq = 0;
+  std::uint64_t result = 0;      // enq: 1; deq: value returned (0 = NULL)
+};
+
+struct OpTrace {
+  TraceSource source = TraceSource::kSim;
+  std::string queue;             // QueueKind name, e.g. "SBQ-HTM"
+  // Workload shape; sim replay regenerates think/rng streams from these.
+  std::uint8_t workload = 0;     // bench WorkloadSpec kind (0 prod / 1 cons / 2 mixed)
+  std::uint32_t producers = 0;
+  std::uint32_t consumers = 0;
+  std::uint64_t ops_per_thread = 0;
+  std::uint64_t prefill = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t prefill_seed = 0;
+  std::uint32_t basket_capacity = 0;
+  std::vector<OpRecord> records;
+};
+
+std::vector<std::uint8_t> encode_op_trace(const OpTrace& trace);
+
+// Returns false (leaving `out` unspecified) on any damage: wrong magic,
+// stale version, truncation, checksum mismatch, implausible counts, or
+// trailing bytes. Never throws.
+bool decode_op_trace(const std::vector<std::uint8_t>& bytes, OpTrace& out);
+
+// File helpers; false on I/O failure (write) or I/O + decode failure (read).
+bool write_op_trace_file(const std::string& path, const OpTrace& trace);
+bool read_op_trace_file(const std::string& path, OpTrace& out);
+
+}  // namespace sbq::replay

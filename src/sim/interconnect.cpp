@@ -75,10 +75,8 @@ void Interconnect::send(CoreId src, CoreId dst, Message msg) {
   msg.src = src;
   ++sent_;
   if (trace_ != nullptr && trace_->enabled()) {
-    trace_->record(engine_.now(), src,
-                   std::string("send ") + msg_type_name(msg.type) + " -> " +
-                       std::to_string(dst),
-                   msg.addr, msg.requester);
+    trace_->record_send(engine_.now(), src, dst, msg.type, msg.addr,
+                        msg.requester);
   }
   Time delay;
   const int ss = socket_of(src);
@@ -136,6 +134,9 @@ void Interconnect::send(CoreId src, CoreId dst, Message msg) {
   }
   if (debug_ring_ != nullptr) {
     debug_ring_->record(engine_.now(), src, dst, msg.type, msg.addr, msg.value);
+  }
+  if (send_observer_ != nullptr) {
+    send_observer_(send_observer_ctx_, engine_.now(), src, dst, msg);
   }
   if (node_slice_ != nullptr && node_slice_[dst] != my_slice_) {
     // Cross-slice: buffer as a time-stamped channel send; the Machine

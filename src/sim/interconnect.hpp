@@ -60,6 +60,18 @@ class Interconnect {
 
   void send(CoreId src, CoreId dst, Message msg);
 
+  // Divergence-bisector hook (src/replay/divergence.cpp): called on every
+  // send with the same fields the DebugRing records. Null by default — one
+  // predictable branch on the send path when unset, so the goldens and the
+  // zero-alloc gates are unaffected. The observer must not re-enter the
+  // interconnect.
+  using SendObserverFn = void (*)(void* ctx, Time t, CoreId src, CoreId dst,
+                                  const Message& msg);
+  void set_send_observer(SendObserverFn fn, void* ctx) noexcept {
+    send_observer_ = fn;
+    send_observer_ctx_ = ctx;
+  }
+
   // Sharded machine: this interconnect instance belongs to slice
   // `my_slice`; `node_slice` maps every node id (cores + directory slices)
   // to its owning slice. A send whose destination lives on another slice
@@ -134,6 +146,8 @@ class Interconnect {
   MachineConfig cfg_;
   Trace* trace_;
   DebugRing* debug_ring_;
+  SendObserverFn send_observer_ = nullptr;
+  void* send_observer_ctx_ = nullptr;
   std::vector<MessageHandlerFn> handlers_;
   std::vector<Link> links_;  // empty under kFlat
   std::uint64_t sent_ = 0;

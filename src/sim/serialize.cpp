@@ -341,6 +341,7 @@ void encode_config(Writer& w, const MachineConfig& cfg) {
   w.u64(cfg.cas_policy.fallback_budget);
   w.u64(cfg.cas_policy.conflict_cost);
   w.u64(cfg.cas_policy.nonconflict_cost);
+  w.u8(cfg.cas_policy.commit_decay);
 }
 
 bool decode_config(Reader& r, MachineConfig& cfg) {
@@ -404,6 +405,10 @@ bool decode_config(Reader& r, MachineConfig& cfg) {
   cfg.cas_policy.fallback_budget = static_cast<std::uint32_t>(budget);
   cfg.cas_policy.conflict_cost = static_cast<std::uint32_t>(ccost);
   cfg.cas_policy.nonconflict_cost = static_cast<std::uint32_t>(nccost);
+  std::uint8_t decay;
+  if (!r.u8(decay)) return false;
+  if (decay > ContentionPolicyParams::kCommitDecayHalfLife) return false;
+  cfg.cas_policy.commit_decay = decay;
   return true;
 }
 

@@ -28,7 +28,7 @@ namespace sbq::sim {
 // captures (new MachineConfig fields, State-struct layout changes, …).
 // Stale-version blobs are rejected at decode and garbage-collected by
 // scripts/snapshot_cache.sh --prune.
-inline constexpr std::uint32_t kSnapshotSchemaVersion = 2;
+inline constexpr std::uint32_t kSnapshotSchemaVersion = 3;
 
 // True when a machine built from `cfg` produces snapshots this module can
 // round-trip: serial (sharded machines refuse to snapshot anyway), no trace

@@ -3,20 +3,34 @@
 #include <cstdio>
 #include <iomanip>
 #include <ostream>
+#include <string_view>
 
 namespace sbq::sim {
 
-void Trace::record(Time t, CoreId node, std::string what, Addr addr,
-                   std::int64_t detail) {
-  if (!enabled_) return;
-  TraceEvent e{t, node, std::move(what), addr, detail};
+void Trace::push(const TraceEvent& e) {
   if (ring_.size() < capacity_) {
-    ring_.push_back(std::move(e));
+    ring_.push_back(e);
     return;
   }
-  ring_[next_] = std::move(e);
+  ring_[next_] = e;
   next_ = (next_ + 1) % capacity_;
   ++dropped_;
+}
+
+void Trace::record(Time t, CoreId node, const char* what, Addr addr,
+                   std::int64_t detail) {
+  if (!enabled_) return;
+  push(TraceEvent{t, node, what, addr, detail});
+}
+
+void Trace::record_send(Time t, CoreId src, CoreId dst, MsgType type,
+                        Addr addr, std::int64_t requester) {
+  if (!enabled_) return;
+  TraceEvent e{t, src, "send", addr, requester};
+  e.is_send = true;
+  e.msg_type = type;
+  e.dst = dst;
+  push(e);
 }
 
 std::vector<TraceEvent> Trace::events() const {
@@ -33,15 +47,21 @@ std::vector<TraceEvent> Trace::events() const {
 void Trace::print(std::ostream& os, Addr only_addr) const {
   for (const auto& e : events()) {
     if (only_addr != 0 && e.addr != only_addr) continue;
-    os << std::setw(8) << e.time << "  node " << std::setw(3) << e.node << "  "
-       << e.what << "  addr=" << e.addr << "  detail=" << e.detail << "\n";
+    os << std::setw(8) << e.time << "  node " << std::setw(3) << e.node
+       << "  ";
+    if (e.is_send) {
+      os << "send " << msg_type_name(e.msg_type) << " -> " << e.dst;
+    } else {
+      os << e.what;
+    }
+    os << "  addr=" << e.addr << "  detail=" << e.detail << "\n";
   }
 }
 
 namespace {
 // The event vocabulary is ASCII, but escape defensively so the JSONL stays
 // well-formed whatever string a future event uses.
-void write_json_string(std::ostream& os, const std::string& s) {
+void write_json_string(std::ostream& os, std::string_view s) {
   os << '"';
   for (char c : s) {
     switch (c) {
@@ -68,7 +88,12 @@ void Trace::write_jsonl(std::ostream& os, Addr only_addr) const {
   for (const auto& e : events()) {
     if (only_addr != 0 && e.addr != only_addr) continue;
     os << "{\"t\":" << e.time << ",\"node\":" << e.node << ",\"event\":";
-    write_json_string(os, e.what);
+    if (e.is_send) {
+      // msg_type_name() is ASCII and needs no escaping.
+      os << "\"send " << msg_type_name(e.msg_type) << " -> " << e.dst << '"';
+    } else {
+      write_json_string(os, e.what);
+    }
     os << ",\"addr\":" << e.addr << ",\"detail\":" << e.detail << "}\n";
   }
 }

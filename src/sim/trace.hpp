@@ -7,6 +7,13 @@
 // simulations keep the *tail* of their history instead of growing without
 // bound. events() returns the retained events in record order.
 //
+// Recording is allocation-free on the steady path: `what` is an interned
+// string literal (static storage duration) rather than a per-event
+// std::string, interconnect sends store their payload as POD fields and the
+// "send <type> -> <dst>" text is synthesized at print/export time, and the
+// ring is reserved to capacity up front when tracing is enabled. The
+// sim_microbench alloc gate runs a trace-enabled phase to pin this.
+//
 // write_jsonl() emits one JSON object per line; the schema (field meanings
 // and the vocabulary of `event` strings) is documented in
 // docs/observability.md.
@@ -15,7 +22,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
-#include <string>
 #include <vector>
 
 #include "sim/message.hpp"
@@ -26,9 +32,15 @@ namespace sbq::sim {
 struct TraceEvent {
   Time time;
   CoreId node;        // acting node (core or directory)
-  std::string what;   // e.g. "send GetM", "abort(txn)", "commit"
+  const char* what;   // interned literal, e.g. "GetM complete", "txcas commit"
   Addr addr;
   std::int64_t detail;  // event-specific (value, requester id, ...)
+  // Interconnect sends carry their message as POD so the hot path never
+  // builds a per-message string; consumers see the synthesized
+  // "send <type> -> <dst>" text via print()/write_jsonl().
+  bool is_send = false;
+  MsgType msg_type = MsgType::kGetS;
+  CoreId dst = -1;
 };
 
 class Trace {
@@ -37,14 +49,23 @@ class Trace {
 
   explicit Trace(bool enabled = false,
                  std::size_t capacity = kDefaultCapacity)
-      : enabled_(enabled), capacity_(capacity == 0 ? 1 : capacity) {}
+      : enabled_(enabled), capacity_(capacity == 0 ? 1 : capacity) {
+    // Reserve eagerly so steady-state recording never reallocates.
+    if (enabled_) ring_.reserve(capacity_);
+  }
 
   void set_enabled(bool on) noexcept { enabled_ = on; }
   bool enabled() const noexcept { return enabled_; }
   std::size_t capacity() const noexcept { return capacity_; }
 
-  void record(Time t, CoreId node, std::string what, Addr addr,
+  // `what` must be a string literal (or otherwise outlive the trace); the
+  // ring stores the pointer, not a copy.
+  void record(Time t, CoreId node, const char* what, Addr addr,
               std::int64_t detail = 0);
+
+  // Interconnect send: POD-only fast path (no string assembly).
+  void record_send(Time t, CoreId src, CoreId dst, MsgType type, Addr addr,
+                   std::int64_t requester);
 
   // Retained events, oldest first. Until the ring wraps this is a cheap
   // reference-like copy of the underlying buffer; after wrapping it stitches
@@ -68,6 +89,8 @@ class Trace {
   void write_jsonl(std::ostream& os, Addr only_addr = 0) const;
 
  private:
+  void push(const TraceEvent& e);
+
   bool enabled_;
   std::size_t capacity_;
   std::size_t next_ = 0;  // ring insertion point once |ring_| == capacity_
@@ -75,12 +98,12 @@ class Trace {
   std::vector<TraceEvent> ring_;
 };
 
-// Always-on last-messages ring for post-mortem dumps. Unlike Trace (string
-// events, opt-in via --trace), this is a small fixed buffer of POD records
-// filled on every interconnect send — cheap enough to leave on
-// unconditionally (a handful of stores per message, zero steady-state
-// allocations), so the quiescence watchdog and the invariant checker can
-// dump the tail of the message history even when no trace was requested.
+// Always-on last-messages ring for post-mortem dumps. Unlike Trace (opt-in
+// via --trace), this is a small fixed buffer of POD records filled on every
+// interconnect send — cheap enough to leave on unconditionally (a handful
+// of stores per message, zero steady-state allocations), so the quiescence
+// watchdog, the invariant checker, and the divergence bisector can dump the
+// tail of the message history even when no trace was requested.
 struct DebugRingEntry {
   Time time = 0;
   CoreId src = -1;

@@ -1,69 +1,10 @@
-// Aspect-oriented linearizability checking for queue histories.
-//
-// §5.3.2 of the paper proves SBQ linearizable via the Henzinger–Sezgin–
-// Vafeiadis framework [13]: a complete queue history is linearizable iff it
-// contains none of four violations (assuming unique enqueued values):
-//
-//   VFresh  — a dequeue returns a value that was never enqueued;
-//   VRepeat — two dequeues return the value of the same enqueue;
-//   VOrd    — enqueue(b) is invoked after enqueue(a) COMPLETES, some
-//             dequeue returns b, but a is never dequeued or a's dequeue is
-//             invoked only after b's dequeue completes;
-//   VWit    — a dequeue returns NULL although some element was enqueued
-//             (completed) before its invocation and not yet dequeued
-//             throughout its whole execution interval.
-//
-// This header implements the checks directly over recorded operation
-// intervals. On the simulator, timestamps are exact virtual times, so the
-// precedence relation (resp < inv) is precise — the checker is a sound and
-// complete test for these four violation classes.
-#pragma once
+#include "verify/history_checker.hpp"
 
-#include <algorithm>
-#include <cstdint>
 #include <map>
-#include <optional>
-#include <string>
-#include <vector>
 
 namespace sbq::histcheck {
 
-using ValueT = std::uint64_t;
-using TimeT = std::uint64_t;
-
-struct Op {
-  enum Kind { kEnq, kDeq } kind;
-  TimeT invoked;
-  TimeT responded;
-  ValueT value;  // enq: value enqueued; deq: value returned (0 = NULL)
-};
-
-struct Violation {
-  std::string kind;
-  std::string detail;
-};
-
-class History {
- public:
-  void record_enq(TimeT inv, TimeT resp, ValueT v) {
-    ops_.push_back({Op::kEnq, inv, resp, v});
-  }
-  void record_deq(TimeT inv, TimeT resp, ValueT v) {
-    ops_.push_back({Op::kDeq, inv, resp, v});
-  }
-  void merge(const History& other) {
-    ops_.insert(ops_.end(), other.ops_.begin(), other.ops_.end());
-  }
-  std::size_t size() const { return ops_.size(); }
-
-  // Runs all four checks; returns every violation found (empty = pass).
-  std::vector<Violation> check() const;
-
- private:
-  std::vector<Op> ops_;
-};
-
-inline std::vector<Violation> History::check() const {
+std::vector<Violation> History::check() const {
   std::vector<Violation> out;
 
   std::map<ValueT, const Op*> enq_of;   // value -> enqueue op

@@ -3,7 +3,7 @@
 // detected on a minimal crafted history and absent on a correct one.
 #include <gtest/gtest.h>
 
-#include "history_checker.hpp"
+#include "verify/history_checker.hpp"
 
 namespace sbq::histcheck {
 namespace {

@@ -1,0 +1,393 @@
+// Op-level trace record/replay (docs/replay.md):
+//   * codec round-trip + the full damage-rejection surface (truncation,
+//     bit flips, foreign magic, stale version, trailing garbage) mirroring
+//     snapshot_serde_test.cpp;
+//   * recording is schedule-invisible — for every evaluated queue, a
+//     recorded sim run's metrics are byte-identical to the plain run, and
+//     replaying the trace under the recording config reproduces them again
+//     with zero value mismatches;
+//   * recorded histories satisfy the HSV linearizability checks (sim and
+//     native sources), value conservation holds, and a deliberately
+//     mutated trace fails the checker.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchsupport/metrics_json.hpp"
+#include "replay/native_record.hpp"
+#include "replay/op_trace.hpp"
+#include "replay/sim_replay.hpp"
+#include "sim_queue_bench_util.hpp"
+#include "verify/history_checker.hpp"
+
+namespace sbq::bench {
+namespace {
+
+sim::MachineConfig small_config(int cores) {
+  sim::MachineConfig mcfg;
+  mcfg.cores = cores;
+  mcfg.collect_stats = true;
+  return mcfg;
+}
+
+WorkloadSpec mixed_spec(std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.kind = Workload::kMixed;
+  spec.producers = 2;
+  spec.consumers = 2;
+  spec.ops_per_thread = 20;
+  spec.prefill = 0;  // unique values across the whole history
+  spec.seed = seed;
+  return spec;
+}
+
+void expect_same_run(const SimRunResult& a, const SimRunResult& b,
+                     const char* what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(a.enq_ops, b.enq_ops);
+  EXPECT_EQ(a.deq_ops, b.deq_ops);
+  EXPECT_EQ(a.enq_latency_cycles, b.enq_latency_cycles);
+  EXPECT_EQ(a.deq_latency_cycles, b.deq_latency_cycles);
+  EXPECT_EQ(a.duration_cycles, b.duration_cycles);
+  EXPECT_EQ(metrics_to_json(a.metrics).dump(-1),
+            metrics_to_json(b.metrics).dump(-1));
+}
+
+// Record the spec's workload for `kind` into `trace` and return the
+// measured-phase result (same machine construction as run_queue_workload).
+SimRunResult record_run(QueueKind kind, const sim::MachineConfig& mcfg,
+                        const WorkloadSpec& spec, replay::OpTrace& trace) {
+  trace.source = replay::TraceSource::kSim;
+  trace.queue = queue_kind_name(kind);
+  trace.workload = static_cast<std::uint8_t>(spec.kind);
+  trace.producers = static_cast<std::uint32_t>(spec.producers);
+  trace.consumers = static_cast<std::uint32_t>(spec.consumers);
+  trace.ops_per_thread = spec.ops_per_thread;
+  trace.prefill = spec.prefill;
+  trace.seed = spec.seed;
+  trace.prefill_seed = spec.prefill_seed;
+  trace.basket_capacity = static_cast<std::uint32_t>(spec.basket_capacity);
+  sim::Machine m(mcfg);
+  return with_queue(kind, m, spec, [&](auto& q, int offset) {
+    return replay::run_recorded_workload(m, q, trace, offset);
+  });
+}
+
+replay::ReplayOutcome replay_run(const sim::MachineConfig& mcfg,
+                                 const replay::OpTrace& trace) {
+  const QueueKind kind = queue_kind_from_name(trace.queue);
+  const WorkloadSpec spec = spec_from_trace(trace);
+  sim::Machine m(mcfg);
+  return with_queue(kind, m, spec, [&](auto& q, int offset) {
+    return replay::replay_trace(m, q, trace, offset);
+  });
+}
+
+histcheck::History history_of(const std::vector<replay::OpRecord>& records) {
+  histcheck::History h;
+  for (const replay::OpRecord& rec : records) {
+    if (rec.op == replay::kOpEnqueue) {
+      h.record_enq(rec.invoke_seq, rec.response_seq, rec.value);
+    } else {
+      h.record_deq(rec.invoke_seq, rec.response_seq, rec.result);
+    }
+  }
+  return h;
+}
+
+replay::OpTrace sample_trace() {
+  replay::OpTrace t;
+  t.source = replay::TraceSource::kSim;
+  t.queue = "SBQ-HTM";
+  t.workload = 2;
+  t.producers = 2;
+  t.consumers = 2;
+  t.ops_per_thread = 3;
+  t.prefill = 4;
+  t.seed = 11;
+  t.prefill_seed = 7;
+  t.basket_capacity = 44;
+  t.records = {
+      {-1, replay::kOpEnqueue, 16, 1, 9, 1},
+      {0, replay::kOpEnqueue, 17, 10, 20, 1},
+      {2, replay::kOpDequeue, 0, 12, 25, 16},
+      {3, replay::kOpDequeue, 0, 13, 30, 0},
+      {1, replay::kOpEnqueue, 1 + (std::uint64_t{1} << 32), 14, 35, 1},
+  };
+  return t;
+}
+
+TEST(OpTraceCodec, RoundTripPreservesEverything) {
+  const replay::OpTrace t = sample_trace();
+  const std::vector<std::uint8_t> bytes = replay::encode_op_trace(t);
+  replay::OpTrace d;
+  ASSERT_TRUE(replay::decode_op_trace(bytes, d));
+  EXPECT_EQ(d.source, t.source);
+  EXPECT_EQ(d.queue, t.queue);
+  EXPECT_EQ(d.workload, t.workload);
+  EXPECT_EQ(d.producers, t.producers);
+  EXPECT_EQ(d.consumers, t.consumers);
+  EXPECT_EQ(d.ops_per_thread, t.ops_per_thread);
+  EXPECT_EQ(d.prefill, t.prefill);
+  EXPECT_EQ(d.seed, t.seed);
+  EXPECT_EQ(d.prefill_seed, t.prefill_seed);
+  EXPECT_EQ(d.basket_capacity, t.basket_capacity);
+  ASSERT_EQ(d.records.size(), t.records.size());
+  for (std::size_t i = 0; i < t.records.size(); ++i) {
+    EXPECT_EQ(d.records[i].thread, t.records[i].thread) << i;
+    EXPECT_EQ(d.records[i].op, t.records[i].op) << i;
+    EXPECT_EQ(d.records[i].value, t.records[i].value) << i;
+    EXPECT_EQ(d.records[i].invoke_seq, t.records[i].invoke_seq) << i;
+    EXPECT_EQ(d.records[i].response_seq, t.records[i].response_seq) << i;
+    EXPECT_EQ(d.records[i].result, t.records[i].result) << i;
+  }
+  // Re-encoding the decode is byte-identical (canonical form).
+  EXPECT_EQ(replay::encode_op_trace(d), bytes);
+}
+
+TEST(OpTraceCodec, RejectsEveryTruncation) {
+  const std::vector<std::uint8_t> bytes =
+      replay::encode_op_trace(sample_trace());
+  replay::OpTrace d;
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    const std::vector<std::uint8_t> cut(bytes.begin(),
+                                        bytes.begin() + static_cast<long>(n));
+    EXPECT_FALSE(replay::decode_op_trace(cut, d)) << "length " << n;
+  }
+}
+
+TEST(OpTraceCodec, RejectsEverySingleBitFlipByte) {
+  const std::vector<std::uint8_t> bytes =
+      replay::encode_op_trace(sample_trace());
+  replay::OpTrace d;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<std::uint8_t> bad = bytes;
+    bad[i] ^= 0x40;
+    EXPECT_FALSE(replay::decode_op_trace(bad, d)) << "byte " << i;
+  }
+}
+
+TEST(OpTraceCodec, RejectsForeignMagicStaleVersionAndTrailingGarbage) {
+  const std::vector<std::uint8_t> bytes =
+      replay::encode_op_trace(sample_trace());
+  replay::OpTrace d;
+
+  // Foreign magic ("SBQ1", the snapshot format) — even with a checksum
+  // recomputed over the altered bytes, the magic gate must hold. The
+  // single-byte-flip test already covers checksum-protected damage; here
+  // the trailing checksum is re-derived the way a foreign-but-valid file
+  // would carry one.
+  {
+    std::vector<std::uint8_t> bad = bytes;
+    bad[3] = 0x31;  // 'O' -> '1'
+    // Recompute the trailing FNV-1a64 over everything before it.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::size_t i = 0; i + 8 < bad.size(); ++i) {
+      h = (h ^ bad[i]) * 1099511628211ULL;
+    }
+    for (int i = 0; i < 8; ++i) {
+      bad[bad.size() - 8 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(h >> (8 * i));
+    }
+    EXPECT_FALSE(replay::decode_op_trace(bad, d));
+  }
+
+  // Stale version (version + 1), checksum re-derived likewise.
+  {
+    std::vector<std::uint8_t> bad = bytes;
+    bad[4] = static_cast<std::uint8_t>(replay::kOpTraceFormatVersion + 1);
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::size_t i = 0; i + 8 < bad.size(); ++i) {
+      h = (h ^ bad[i]) * 1099511628211ULL;
+    }
+    for (int i = 0; i < 8; ++i) {
+      bad[bad.size() - 8 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(h >> (8 * i));
+    }
+    EXPECT_FALSE(replay::decode_op_trace(bad, d));
+  }
+
+  // Trailing garbage after a perfectly valid blob.
+  {
+    std::vector<std::uint8_t> bad = bytes;
+    bad.push_back(0);
+    EXPECT_FALSE(replay::decode_op_trace(bad, d));
+    EXPECT_FALSE(replay::decode_op_trace({}, d));
+  }
+}
+
+TEST(SimRecordReplay, RecordingIsScheduleInvisibleAndReplayExact) {
+  const sim::MachineConfig mcfg = small_config(4);
+  for (QueueKind kind : evaluated_queue_kinds()) {
+    const WorkloadSpec spec = mixed_spec(/*seed=*/17);
+    const SimRunResult plain = run_queue_workload(kind, mcfg, spec);
+    ASSERT_GT(plain.enq_ops, 0u) << queue_kind_name(kind);
+
+    replay::OpTrace trace;
+    const SimRunResult recorded = record_run(kind, mcfg, spec, trace);
+    expect_same_run(plain, recorded, queue_kind_name(kind));
+    // Every successful op is recorded (null dequeues add more records).
+    EXPECT_GE(trace.records.size(),
+              static_cast<std::size_t>(plain.enq_ops + plain.deq_ops))
+        << queue_kind_name(kind);
+
+    // Replay under the recording config reproduces the schedule exactly.
+    const replay::ReplayOutcome rep = replay_run(mcfg, trace);
+    expect_same_run(plain, rep.run,
+                    (std::string(queue_kind_name(kind)) + " replay").c_str());
+    EXPECT_EQ(rep.value_mismatches, 0u) << queue_kind_name(kind);
+
+    // File round-trip: encode -> write -> read -> re-encode, byte-equal.
+    const std::string path =
+        std::string(::testing::TempDir()) + "replay_test_" +
+        std::to_string(static_cast<int>(kind)) + ".ops";
+    ASSERT_TRUE(replay::write_op_trace_file(path, trace));
+    replay::OpTrace back;
+    ASSERT_TRUE(replay::read_op_trace_file(path, back));
+    EXPECT_EQ(replay::encode_op_trace(back), replay::encode_op_trace(trace));
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SimRecordReplay, RecordedHistoriesAreLinearizable) {
+  const sim::MachineConfig mcfg = small_config(4);
+  for (QueueKind kind : evaluated_queue_kinds()) {
+    // Mixed with no prefill: values are unique across the whole history, so
+    // the HSV checks apply (see docs/replay.md for the prefill caveat).
+    replay::OpTrace trace;
+    record_run(kind, mcfg, mixed_spec(/*seed=*/29), trace);
+    const auto violations = history_of(trace.records).check();
+    EXPECT_TRUE(violations.empty())
+        << queue_kind_name(kind) << ": " << violations.size()
+        << " violations, first: "
+        << (violations.empty() ? "" : violations.front().kind + " " +
+                                          violations.front().detail);
+  }
+}
+
+TEST(NativeRecord, AllQueuesLinearizableAndValueConserving) {
+  replay::NativeRecordSpec spec;
+  spec.threads = 4;
+  spec.pairs_per_thread = 128;
+  spec.seed = 3;
+  for (const std::string& name : replay::native_record_queue_names()) {
+    replay::OpTrace trace;
+    ASSERT_TRUE(replay::record_native_queue(name, spec, trace)) << name;
+    EXPECT_EQ(trace.source, replay::TraceSource::kNative) << name;
+    EXPECT_EQ(trace.queue, name);
+
+    std::uint64_t enqueues = 0, hits = 0;
+    for (const replay::OpRecord& rec : trace.records) {
+      if (rec.op == replay::kOpEnqueue) {
+        ++enqueues;
+      } else if (rec.result != 0) {
+        ++hits;
+      }
+      EXPECT_LT(rec.invoke_seq, rec.response_seq) << name;
+    }
+    // The post-join drain empties the queue: conservation is exact.
+    EXPECT_EQ(enqueues,
+              static_cast<std::uint64_t>(spec.threads) * spec.pairs_per_thread)
+        << name;
+    EXPECT_EQ(enqueues, hits) << name;
+
+    const auto violations = history_of(trace.records).check();
+    EXPECT_TRUE(violations.empty())
+        << name << ": " << violations.size() << " violations, first: "
+        << (violations.empty() ? "" : violations.front().kind + " " +
+                                          violations.front().detail);
+  }
+}
+
+TEST(NativeRecord, MutatedTraceFailsTheChecker) {
+  replay::NativeRecordSpec spec;
+  spec.threads = 2;
+  spec.pairs_per_thread = 32;
+  replay::OpTrace trace;
+  ASSERT_TRUE(replay::record_native_queue("MS-Queue", spec, trace));
+
+  // Corrupt one successful dequeue to return a never-enqueued value: VFresh.
+  replay::OpTrace fresh = trace;
+  for (replay::OpRecord& rec : fresh.records) {
+    if (rec.op == replay::kOpDequeue && rec.result != 0) {
+      rec.result = 0xdeadbeefULL << 8;
+      break;
+    }
+  }
+  EXPECT_FALSE(history_of(fresh.records).check().empty());
+
+  // Duplicate a successful dequeue's result onto another: VRepeat.
+  replay::OpTrace repeat = trace;
+  replay::OpRecord* first = nullptr;
+  for (replay::OpRecord& rec : repeat.records) {
+    if (rec.op == replay::kOpDequeue && rec.result != 0) {
+      if (first == nullptr) {
+        first = &rec;
+      } else if (rec.result != first->result) {
+        rec.result = first->result;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(first, nullptr);
+  EXPECT_FALSE(history_of(repeat.records).check().empty());
+}
+
+TEST(NativeReplay, NativeTraceReplaysOnTheSimulatorLinearizably) {
+  replay::NativeRecordSpec spec;
+  spec.threads = 3;
+  spec.pairs_per_thread = 24;
+  replay::OpTrace trace;
+  ASSERT_TRUE(replay::record_native_queue("SBQ-CAS", spec, trace));
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "replay_test_native.ops";
+  ASSERT_TRUE(replay::write_op_trace_file(path, trace));
+  const ReplaySummary s = run_replay_file(path, small_config(2));
+  std::remove(path.c_str());
+
+  EXPECT_EQ(s.trace_records, trace.records.size());
+  EXPECT_EQ(s.outcome.run.enq_ops,
+            static_cast<std::uint64_t>(spec.threads) * spec.pairs_per_thread);
+  // The replayed history (with the simulator's virtual timestamps) must be
+  // linearizable in its own right.
+  const auto violations = history_of(s.outcome.observed).check();
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violations, first: "
+      << (violations.empty()
+              ? ""
+              : violations.front().kind + " " + violations.front().detail);
+}
+
+TEST(NativeReplay, ReplayIsDeterministic) {
+  replay::NativeRecordSpec spec;
+  spec.threads = 2;
+  spec.pairs_per_thread = 16;
+  replay::OpTrace trace;
+  ASSERT_TRUE(replay::record_native_queue("WF-Queue", spec, trace));
+
+  auto run_once = [&] {
+    const QueueKind kind = queue_kind_from_name(trace.queue);
+    const WorkloadSpec wspec = spec_from_trace(trace);
+    sim::MachineConfig mcfg = small_config(replay_min_cores(wspec));
+    sim::Machine m(mcfg);
+    return with_queue(kind, m, wspec, [&](auto& q, int offset) {
+      return replay::replay_trace(m, q, trace, offset);
+    });
+  };
+  const replay::ReplayOutcome a = run_once();
+  const replay::ReplayOutcome b = run_once();
+  expect_same_run(a.run, b.run, "native replay determinism");
+  ASSERT_EQ(a.observed.size(), b.observed.size());
+  for (std::size_t i = 0; i < a.observed.size(); ++i) {
+    EXPECT_EQ(a.observed[i].invoke_seq, b.observed[i].invoke_seq) << i;
+    EXPECT_EQ(a.observed[i].response_seq, b.observed[i].response_seq) << i;
+    EXPECT_EQ(a.observed[i].result, b.observed[i].result) << i;
+  }
+}
+
+}  // namespace
+}  // namespace sbq::bench

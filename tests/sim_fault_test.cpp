@@ -21,7 +21,7 @@
 #include <stdexcept>
 #include <vector>
 
-#include "history_checker.hpp"
+#include "verify/history_checker.hpp"
 #include "simqueue/sim_faa_queue.hpp"
 #include "simqueue/sim_ms_queue.hpp"
 #include "simqueue/sim_sbq.hpp"

@@ -11,7 +11,7 @@
 
 #include <memory>
 
-#include "history_checker.hpp"
+#include "verify/history_checker.hpp"
 #include "simqueue/sim_baskets_queue.hpp"
 #include "simqueue/sim_cc_queue.hpp"
 #include "simqueue/sim_faa_queue.hpp"
